@@ -1,0 +1,7 @@
+//! Regenerates the paper's §4.4 sweep: relative performance with 8, 6 and
+//! 4 integer ALUs (the paper picks 6 for Table 1).
+
+fn main() {
+    let cfg = dcg_bench::bench_config();
+    dcg_bench::emit(&dcg_experiments::alu_sweep(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 14 (see dcg-experiments::fig14).
+
+fn main() {
+    let suite = dcg_bench::bench_suite(true);
+    dcg_bench::emit(&dcg_experiments::fig14(&suite));
+}

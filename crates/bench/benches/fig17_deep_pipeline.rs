@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 17: DCG savings on the 8-stage vs the
+//! 20-stage pipeline (§5.6).
+
+fn main() {
+    let cfg = dcg_bench::bench_config();
+    dcg_bench::emit(&dcg_experiments::fig17(&cfg));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's §5.2-§5.5 utilization statistics (the inputs to
+//! its expected-saving arguments).
+
+fn main() {
+    let cfg = dcg_bench::bench_config();
+    let suite = dcg_bench::bench_suite(false);
+    dcg_bench::emit(&dcg_experiments::utilization(&suite, &cfg.sim));
+}

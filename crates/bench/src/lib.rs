@@ -1,0 +1,51 @@
+//! Shared plumbing for the figure-regeneration benches.
+//!
+//! Each `[[bench]]` target with `harness = false` regenerates one of the
+//! paper's tables/figures: it runs the experiment at full scale, prints
+//! the same rows/series the paper reports (with the paper's numbers as
+//! notes), and writes a CSV under `results/`.
+//!
+//! Scale note: `cargo bench` runs the full 18-benchmark suite per figure;
+//! set `DCG_BENCH_QUICK=1` to use the reduced smoke-test configuration.
+
+use std::path::PathBuf;
+
+use dcg_experiments::{ExperimentConfig, FigureTable, Suite};
+
+/// The experiment configuration for benches (`DCG_BENCH_QUICK=1` shrinks
+/// it).
+pub fn bench_config() -> ExperimentConfig {
+    if std::env::var_os("DCG_BENCH_QUICK").is_some() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    }
+}
+
+/// Run the shared suite for figure benches.
+pub fn bench_suite(with_plb: bool) -> Suite {
+    let cfg = bench_config();
+    eprintln!(
+        "running {} benchmarks{}...",
+        cfg.benchmarks.len(),
+        if with_plb { " (with PLB runs)" } else { "" }
+    );
+    Suite::run(&cfg, with_plb)
+}
+
+/// Print a figure table and persist its CSV under the workspace-root
+/// `results/` directory (anchored so the destination does not depend on
+/// the invocation directory).
+pub fn emit(table: &FigureTable) {
+    println!("{table}");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let path = root.join("results").join(format!("{}.csv", table.id));
+    match table.write_csv(&path) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

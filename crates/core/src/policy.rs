@@ -1,0 +1,94 @@
+//! The clock-gating policy abstraction.
+
+use dcg_power::GateState;
+use dcg_sim::{CycleActivity, LatchGroups, ResourceConstraints, SimConfig};
+
+/// A per-cycle clock-gating policy.
+///
+/// Protocol, per simulated cycle `X` (driven by the runners in this
+/// crate, e.g. [`crate::run_passive`]):
+///
+/// 1. [`GatingPolicy::gate_for`]`(X)` — produce the gate state for cycle
+///    `X` *before it executes*, i.e. from information observed in cycles
+///    `< X`. This is where DCG's determinism lives: its controller may use
+///    only the advance-knowledge signals it has already seen.
+/// 2. [`GatingPolicy::constraints`] — resource limits for cycle `X`
+///    (identity for DCG; mode-dependent for PLB).
+/// 3. the simulator executes cycle `X`;
+/// 4. [`GatingPolicy::observe`] — the policy sees cycle `X`'s activity
+///    (GRANT signals, one-hot issued count, scheduled stores, booked
+///    buses) and updates its internal pipelined control state.
+pub trait GatingPolicy {
+    /// Gate state for cycle `cycle`, decided ahead of its execution.
+    fn gate_for(&mut self, cycle: u64) -> GateState;
+
+    /// Resource constraints for the upcoming cycle.
+    fn constraints(&self) -> ResourceConstraints;
+
+    /// Observe the activity of the cycle that just executed.
+    fn observe(&mut self, activity: &CycleActivity);
+
+    /// `true` if this policy never restricts resources (its presence does
+    /// not perturb timing). Passive policies can share a simulation run
+    /// with the ungated baseline; active ones (PLB) need their own run.
+    fn is_passive(&self) -> bool {
+        true
+    }
+
+    /// Display name.
+    fn name(&self) -> &str;
+}
+
+/// The paper's base case: no clock gating at all.
+///
+/// Every gateable block receives its clock every cycle, so dynamic-logic
+/// blocks precharge and latches clock regardless of use.
+#[derive(Debug)]
+pub struct NoGating {
+    gate: GateState,
+    constraints: ResourceConstraints,
+}
+
+impl NoGating {
+    /// Build the baseline policy for `config`.
+    pub fn new(config: &SimConfig, groups: &LatchGroups) -> NoGating {
+        NoGating {
+            gate: GateState::ungated(config, groups),
+            constraints: ResourceConstraints::unrestricted(config),
+        }
+    }
+}
+
+impl GatingPolicy for NoGating {
+    fn gate_for(&mut self, _cycle: u64) -> GateState {
+        self.gate.clone()
+    }
+
+    fn constraints(&self) -> ResourceConstraints {
+        self.constraints
+    }
+
+    fn observe(&mut self, _activity: &CycleActivity) {}
+
+    fn name(&self) -> &str {
+        "baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcg_sim::PipelineDepth;
+
+    #[test]
+    fn baseline_is_passive_and_fully_powered() {
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&PipelineDepth::stages8());
+        let mut p = NoGating::new(&cfg, &groups);
+        assert!(p.is_passive());
+        assert_eq!(p.name(), "baseline");
+        let g = p.gate_for(1);
+        assert_eq!(g, GateState::ungated(&cfg, &groups));
+        assert_eq!(p.constraints(), ResourceConstraints::unrestricted(&cfg));
+    }
+}

@@ -1,0 +1,503 @@
+//! Drives a simulation under one or more gating policies, with energy
+//! accounting and the DCG safety audit.
+
+use dcg_isa::FuClass;
+use dcg_power::{GateState, PowerModel, PowerReport};
+use dcg_sim::{CycleActivity, LatchGroups, Processor, SimConfig, SimStats};
+use dcg_workloads::InstStream;
+
+use crate::policy::GatingPolicy;
+
+/// Run-length parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLength {
+    /// Instructions committed before measurement starts (cache/predictor
+    /// warm-up; the paper fast-forwards 2 B instructions).
+    pub warmup_insts: u64,
+    /// Instructions measured.
+    pub measure_insts: u64,
+}
+
+impl RunLength {
+    /// The default experiment length: 50 k warm-up + 300 k measured.
+    pub fn standard() -> RunLength {
+        RunLength {
+            warmup_insts: 50_000,
+            measure_insts: 300_000,
+        }
+    }
+
+    /// A short run for tests.
+    pub fn quick() -> RunLength {
+        RunLength {
+            warmup_insts: 5_000,
+            measure_insts: 20_000,
+        }
+    }
+}
+
+/// Outcome of one policy over one run.
+#[derive(Debug)]
+pub struct PolicyOutcome {
+    /// Policy display name.
+    pub name: String,
+    /// Accumulated energy over the measured window.
+    pub report: PowerReport,
+    /// Gating audit for the measured window.
+    pub audit: GatingAudit,
+}
+
+/// Safety/quality audit of a gating policy.
+///
+/// `violations` counts cycles where a gated block was actually used — for
+/// DCG this must be **zero** (the paper's determinism guarantee); the
+/// runner panics if it is not. `idle_enabled_*` quantify lost opportunity
+/// (blocks powered but unused), which is how PLB's imprecision shows up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatingAudit {
+    /// Cycles × blocks where a gated block was used (must be 0 for DCG).
+    pub violations: u64,
+    /// Unit-cycles powered but idle.
+    pub idle_enabled_unit_cycles: u64,
+    /// Port-cycles powered but idle.
+    pub idle_enabled_port_cycles: u64,
+    /// Bus-cycles powered but idle.
+    pub idle_enabled_bus_cycles: u64,
+}
+
+impl GatingAudit {
+    fn check(&mut self, gate: &GateState, act: &CycleActivity, strict: bool) {
+        let mut violations = 0u64;
+        for c in FuClass::ALL {
+            if c == FuClass::MemPort {
+                continue;
+            }
+            let used = act.fu_active[c.index()];
+            let powered = gate.fu_powered[c.index()];
+            violations += u64::from((used & !powered).count_ones());
+            self.idle_enabled_unit_cycles += u64::from((powered & !used).count_ones());
+        }
+        let port_used = act.dcache_port_mask;
+        let port_powered = gate.dcache_ports_powered;
+        violations += u64::from((port_used & !port_powered).count_ones());
+        self.idle_enabled_port_cycles += u64::from((port_powered & !port_used).count_ones());
+
+        if act.result_bus_used > gate.result_buses_powered {
+            violations += u64::from(act.result_bus_used - gate.result_buses_powered);
+        } else {
+            self.idle_enabled_bus_cycles +=
+                u64::from(gate.result_buses_powered - act.result_bus_used);
+        }
+
+        for (slots, occ) in gate.latch_slots.iter().zip(&act.latch_occupancy) {
+            if let Some(n) = slots {
+                if occ > n {
+                    violations += u64::from(occ - n);
+                }
+            }
+        }
+
+        self.violations += violations;
+        assert!(
+            !(strict && violations > 0),
+            "deterministic gating violated: a gated block was used \
+             (cycle {}, {} violations)",
+            act.cycle,
+            violations
+        );
+    }
+}
+
+/// Result of [`run_passive`]: per-policy outcomes plus the simulator
+/// statistics of the shared measured window.
+#[derive(Debug)]
+pub struct PassiveRun {
+    /// One outcome per policy, in argument order.
+    pub outcomes: Vec<PolicyOutcome>,
+    /// Simulator statistics over the measured window (warm-up excluded).
+    pub stats: SimStats,
+}
+
+/// Run `stream` on `config` evaluating several **passive** policies (and
+/// implicitly sharing one timing simulation, since passive policies cannot
+/// perturb it). Returns one outcome per policy, in order.
+///
+/// DCG-family policies are audited strictly: gating a used block panics.
+///
+/// # Panics
+///
+/// Panics if any policy is active ([`GatingPolicy::is_passive`] is
+/// `false`), or if a strict policy gates a used block.
+pub fn run_passive<S: InstStream>(
+    config: &SimConfig,
+    stream: S,
+    length: RunLength,
+    policies: &mut [&mut dyn GatingPolicy],
+) -> PassiveRun {
+    for p in policies.iter() {
+        assert!(
+            p.is_passive(),
+            "policy {} is active and needs its own run",
+            p.name()
+        );
+    }
+    let mut cpu = Processor::new(config.clone(), stream);
+    let model = PowerModel::new(config, cpu.latch_groups());
+    let groups: LatchGroups = cpu.latch_groups().clone();
+
+    let mut reports: Vec<PowerReport> = policies.iter().map(|_| PowerReport::new()).collect();
+    let mut audits: Vec<GatingAudit> = policies.iter().map(|_| GatingAudit::default()).collect();
+
+    // Warm-up: policies observe so their pipes are primed, but nothing is
+    // recorded.
+    let warm_target = length.warmup_insts;
+    while cpu.committed() < warm_target {
+        let cycle = cpu.cycle() + 1;
+        let gates: Vec<GateState> = policies.iter_mut().map(|p| p.gate_for(cycle)).collect();
+        let act = cpu.step();
+        for (p, _g) in policies.iter_mut().zip(&gates) {
+            p.observe(act);
+        }
+    }
+
+    let stats_at_warm = cpu.stats().clone();
+    let target = warm_target + length.measure_insts;
+    while cpu.committed() < target {
+        let cycle = cpu.cycle() + 1;
+        let gates: Vec<GateState> = policies.iter_mut().map(|p| p.gate_for(cycle)).collect();
+        let act = cpu.step().clone();
+        for (i, p) in policies.iter_mut().enumerate() {
+            debug_assert!(gates[i].validate(config, &groups).is_ok());
+            audits[i].check(&gates[i], &act, true);
+            reports[i].record(&model.cycle_energy(&act, &gates[i]), act.committed);
+            p.observe(&act);
+        }
+    }
+
+    let stats = cpu.stats().delta(&stats_at_warm);
+    let outcomes = policies
+        .iter()
+        .zip(reports)
+        .zip(audits)
+        .map(|((p, report), audit)| PolicyOutcome {
+            name: p.name().to_string(),
+            report,
+            audit,
+        })
+        .collect();
+    PassiveRun { outcomes, stats }
+}
+
+/// Run `stream` on `config` under the **clairvoyant oracle**: every
+/// gateable block is powered exactly in the cycles it is used, decided
+/// with perfect same-cycle knowledge.
+///
+/// The oracle is not implementable in hardware (gate-enable signals need
+/// set-up time) — it is the upper bound of Wattch's most aggressive
+/// conditional-clocking style (`cc3`). Comparing DCG against it measures
+/// how much of the theoretically available gating DCG's *realizable*
+/// advance knowledge captures; the `oracle_comparison` bench shows DCG is
+/// within a fraction of a percent.
+pub fn run_oracle<S: InstStream>(
+    config: &SimConfig,
+    stream: S,
+    length: RunLength,
+) -> PolicyOutcome {
+    let mut cpu = Processor::new(config.clone(), stream);
+    let model = PowerModel::new(config, cpu.latch_groups());
+    let groups = cpu.latch_groups().clone();
+    let base = GateState::ungated(config, &groups);
+
+    while cpu.committed() < length.warmup_insts {
+        cpu.step();
+    }
+    let mut report = PowerReport::new();
+    let target = length.warmup_insts + length.measure_insts;
+    while cpu.committed() < target {
+        let act = cpu.step().clone();
+        let mut gate = base.clone();
+        for c in FuClass::ALL {
+            gate.fu_powered[c.index()] = act.fu_active[c.index()];
+        }
+        gate.dcache_ports_powered = act.dcache_port_mask;
+        gate.result_buses_powered = act.result_bus_used;
+        gate.latch_slots = groups
+            .specs()
+            .iter()
+            .zip(&act.latch_occupancy)
+            .map(|(s, occ)| if s.gated { Some(*occ) } else { None })
+            .collect();
+        report.record(&model.cycle_energy(&act, &gate), act.committed);
+    }
+    PolicyOutcome {
+        name: "oracle".to_string(),
+        report,
+        audit: GatingAudit::default(),
+    }
+}
+
+/// Reports for Wattch's idealized conditional-clocking reference styles,
+/// computed from one simulation.
+///
+/// Wattch (the paper's power infrastructure) offers clock-gating styles of
+/// increasing aggressiveness as *accounting modes* (not realizable
+/// controllers):
+///
+/// * `cc0` / `full` — no gating (the paper's base case);
+/// * `cc1` — a block is fully powered in any cycle with at least one
+///   access, fully gated otherwise (all-or-nothing, same-cycle knowledge);
+/// * `cc2` — power scales with the number of instances/ports used
+///   (identical to [`run_oracle`]'s clairvoyant gate);
+/// * `cc3` — like `cc2` but idle blocks retain a fixed fraction
+///   (conventionally 10 %) of full power; equivalently,
+///   `saving_cc3 = (1 − floor) × saving_cc2`, so it needs no extra run.
+#[derive(Debug)]
+pub struct WattchStyles {
+    /// `cc0`: everything powered.
+    pub full: PowerReport,
+    /// `cc1`: all-or-nothing per block class.
+    pub cc1: PowerReport,
+    /// `cc2`: per-instance clairvoyant gating.
+    pub cc2: PowerReport,
+}
+
+impl WattchStyles {
+    /// Total-power saving of `cc1` vs the ungated base.
+    pub fn cc1_saving(&self) -> f64 {
+        self.cc1.power_saving_vs(&self.full)
+    }
+
+    /// Total-power saving of `cc2` vs the ungated base.
+    pub fn cc2_saving(&self) -> f64 {
+        self.cc2.power_saving_vs(&self.full)
+    }
+
+    /// Total-power saving of `cc3` with the given idle-power floor.
+    pub fn cc3_saving(&self, idle_floor: f64) -> f64 {
+        (1.0 - idle_floor) * self.cc2_saving()
+    }
+}
+
+/// Evaluate Wattch's `cc1`/`cc2` reference accounting styles on one run
+/// (see [`WattchStyles`]). These use *same-cycle* knowledge and are
+/// therefore upper bounds no realizable controller can exceed.
+pub fn run_wattch_styles<S: InstStream>(
+    config: &SimConfig,
+    stream: S,
+    length: RunLength,
+) -> WattchStyles {
+    let mut cpu = Processor::new(config.clone(), stream);
+    let model = PowerModel::new(config, cpu.latch_groups());
+    let groups = cpu.latch_groups().clone();
+    let ungated = GateState::ungated(config, &groups);
+
+    while cpu.committed() < length.warmup_insts {
+        cpu.step();
+    }
+    let mut full = PowerReport::new();
+    let mut cc1 = PowerReport::new();
+    let mut cc2 = PowerReport::new();
+    let target = length.warmup_insts + length.measure_insts;
+    while cpu.committed() < target {
+        let act = cpu.step().clone();
+
+        // cc2: exact per-instance usage.
+        let mut g2 = ungated.clone();
+        for c in FuClass::ALL {
+            g2.fu_powered[c.index()] = act.fu_active[c.index()];
+        }
+        g2.dcache_ports_powered = act.dcache_port_mask;
+        g2.result_buses_powered = act.result_bus_used;
+        g2.latch_slots = groups
+            .specs()
+            .iter()
+            .zip(&act.latch_occupancy)
+            .map(|(s, occ)| if s.gated { Some(*occ) } else { None })
+            .collect();
+
+        // cc1: all instances of a class powered if any is used.
+        let mut g1 = ungated.clone();
+        for c in FuClass::ALL {
+            if act.fu_active[c.index()] == 0 {
+                g1.fu_powered[c.index()] = 0;
+            }
+        }
+        if act.dcache_port_mask == 0 {
+            g1.dcache_ports_powered = 0;
+        }
+        if act.result_bus_used == 0 {
+            g1.result_buses_powered = 0;
+        }
+        g1.latch_slots = groups
+            .specs()
+            .iter()
+            .zip(&act.latch_occupancy)
+            .map(|(s, occ)| if s.gated && *occ == 0 { Some(0) } else { None })
+            .collect();
+
+        full.record(&model.cycle_energy(&act, &ungated), act.committed);
+        cc1.record(&model.cycle_energy(&act, &g1), act.committed);
+        cc2.record(&model.cycle_energy(&act, &g2), act.committed);
+    }
+    WattchStyles { full, cc1, cc2 }
+}
+
+/// Run `stream` on `config` under one **active** policy (PLB): the policy's
+/// constraints shape the timing, so it gets a dedicated simulation.
+///
+/// Active policies are audited non-strictly (PLB may gate used latches in
+/// principle; its predictive mistakes surface as performance loss and lost
+/// opportunity, not panics).
+pub fn run_active<S: InstStream>(
+    config: &SimConfig,
+    stream: S,
+    length: RunLength,
+    policy: &mut dyn GatingPolicy,
+) -> PolicyOutcome {
+    let mut cpu = Processor::new(config.clone(), stream);
+    let model = PowerModel::new(config, cpu.latch_groups());
+
+    while cpu.committed() < length.warmup_insts {
+        let cycle = cpu.cycle() + 1;
+        let gate = policy.gate_for(cycle);
+        cpu.set_constraints(policy.constraints());
+        let act = cpu.step();
+        let _ = gate;
+        policy.observe(act);
+    }
+
+    let mut report = PowerReport::new();
+    let mut audit = GatingAudit::default();
+    let target = length.warmup_insts + length.measure_insts;
+    while cpu.committed() < target {
+        let cycle = cpu.cycle() + 1;
+        let gate = policy.gate_for(cycle);
+        cpu.set_constraints(policy.constraints());
+        let act = cpu.step().clone();
+        audit.check(&gate, &act, false);
+        report.record(&model.cycle_energy(&act, &gate), act.committed);
+        policy.observe(&act);
+    }
+
+    PolicyOutcome {
+        name: policy.name().to_string(),
+        report,
+        audit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dcg, NoGating, Plb, PlbVariant};
+    use dcg_sim::LatchGroups;
+    use dcg_workloads::{Spec2000, SyntheticWorkload};
+
+    fn stream(name: &str) -> SyntheticWorkload {
+        SyntheticWorkload::new(Spec2000::by_name(name).unwrap(), 7)
+    }
+
+    #[test]
+    fn dcg_saves_power_with_zero_violations() {
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let mut base = NoGating::new(&cfg, &groups);
+        let mut dcg = Dcg::new(&cfg, &groups);
+        let run = run_passive(
+            &cfg,
+            stream("gzip"),
+            RunLength::quick(),
+            &mut [&mut base, &mut dcg],
+        );
+        assert!(run.stats.ipc() > 0.0);
+        let base_r = &run.outcomes[0];
+        let dcg_r = &run.outcomes[1];
+        assert_eq!(dcg_r.audit.violations, 0);
+        let saving = dcg_r.report.power_saving_vs(&base_r.report);
+        assert!(
+            saving > 0.05 && saving < 0.5,
+            "DCG saving out of band: {saving}"
+        );
+        // Same run, same cycles: DCG is performance-neutral by construction.
+        assert_eq!(base_r.report.cycles(), dcg_r.report.cycles());
+        assert_eq!(base_r.report.committed(), dcg_r.report.committed());
+    }
+
+    #[test]
+    fn plb_needs_active_run_and_costs_performance() {
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+
+        let mut base = NoGating::new(&cfg, &groups);
+        let base_out = run_passive(&cfg, stream("swim"), RunLength::quick(), &mut [&mut base])
+            .outcomes
+            .remove(0);
+
+        let mut plb = Plb::new(PlbVariant::Orig, &cfg, &groups);
+        let plb_out = run_active(&cfg, stream("swim"), RunLength::quick(), &mut plb);
+        let rel = plb_out.report.relative_performance_vs(&base_out.report);
+        assert!(
+            rel <= 1.001,
+            "PLB cannot be faster than the unconstrained machine: {rel}"
+        );
+        let saving = plb_out.report.power_saving_vs(&base_out.report);
+        assert!(saving > -0.05, "PLB should not burn more power: {saving}");
+    }
+
+    #[test]
+    fn wattch_styles_are_ordered() {
+        let cfg = SimConfig::baseline_8wide();
+        let styles = run_wattch_styles(&cfg, stream("gzip"), RunLength::quick());
+        let cc1 = styles.cc1_saving();
+        let cc2 = styles.cc2_saving();
+        let cc3 = styles.cc3_saving(0.10);
+        assert!(cc1 > 0.0, "cc1 must save something: {cc1}");
+        assert!(
+            cc2 >= cc1,
+            "per-instance gating dominates all-or-nothing: {cc2} vs {cc1}"
+        );
+        assert!((cc3 - 0.9 * cc2).abs() < 1e-12, "cc3 is cc2 with a floor");
+        // cc2 equals the clairvoyant oracle by construction.
+        let oracle = run_oracle(&cfg, stream("gzip"), RunLength::quick());
+        let oracle_saving = oracle.report.power_saving_vs(&styles.full);
+        assert!((oracle_saving - cc2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iq_gating_option_stacks_on_dcg() {
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let mut base = NoGating::new(&cfg, &groups);
+        let mut plain = Dcg::new(&cfg, &groups);
+        let mut with_iq = Dcg::with_options(
+            &cfg,
+            &groups,
+            crate::DcgOptions {
+                gate_issue_queue: true,
+            },
+        );
+        let run = run_passive(
+            &cfg,
+            stream("gzip"),
+            RunLength::quick(),
+            &mut [&mut base, &mut plain, &mut with_iq],
+        );
+        let base_r = &run.outcomes[0].report;
+        let s_plain = run.outcomes[1].report.power_saving_vs(base_r);
+        let s_iq = run.outcomes[2].report.power_saving_vs(base_r);
+        assert!(
+            s_iq > s_plain,
+            "IQ gating must add savings: {s_iq} vs {s_plain}"
+        );
+        assert_eq!(run.outcomes[2].audit.violations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs its own run")]
+    fn active_policy_rejected_by_run_passive() {
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let mut plb = Plb::new(PlbVariant::Orig, &cfg, &groups);
+        let _ = run_passive(&cfg, stream("gzip"), RunLength::quick(), &mut [&mut plb]);
+    }
+}

@@ -1,0 +1,243 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <experiment>...
+//!
+//! experiments:
+//!   fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//!   alu-sweep utilization workload-stats phase-analysis summary all
+//!   config   (print the Table-1 machine configuration)
+//! ```
+//!
+//! `--quick` runs a reduced benchmark set with short windows (smoke test);
+//! the default runs the full 18-benchmark suite at standard length.
+//! Tables are printed and written as CSV under `--out` (default
+//! `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcg_experiments::{
+    alu_sweep, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, phase_analysis, summary,
+    utilization, workload_stats, write_svg, ExperimentConfig, FigureTable, Suite,
+};
+
+const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|workload-stats|phase-analysis|summary|config|all>...";
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut chart = false;
+    let mut svg = false;
+    let mut json = false;
+    let mut seeds: u64 = 1;
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--chart" => chart = true,
+            "--svg" => svg = true,
+            "--json" => json = true,
+            "--seeds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => seeds = n,
+                _ => {
+                    eprintln!("--seeds requires a positive integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out requires a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "config") {
+        print_config();
+        wanted.retain(|w| w != "config");
+        if wanted.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "alu-sweep",
+            "utilization",
+            "workload-stats",
+            "phase-analysis",
+            "summary",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
+
+    // Figures 10-16 and the utilization table share one suite run.
+    let needs_suite = wanted.iter().any(|w| {
+        matches!(
+            w.as_str(),
+            "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "utilization"
+        )
+    });
+    let needs_plb = wanted.iter().any(|w| {
+        matches!(
+            w.as_str(),
+            "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16"
+        )
+    });
+    let suites: Vec<Suite> = if needs_suite {
+        (0..seeds)
+            .map(|k| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed + k;
+                eprintln!(
+                    "running suite (seed {}): {} benchmarks{}...",
+                    c.seed,
+                    c.benchmarks.len(),
+                    if needs_plb { " (with PLB runs)" } else { "" }
+                );
+                Suite::run(&c, needs_plb)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let averaged = |f: &dyn Fn(&Suite) -> FigureTable| -> FigureTable {
+        let tables: Vec<FigureTable> = suites.iter().map(f).collect();
+        FigureTable::average(&tables)
+    };
+
+    let mut failures = 0;
+    for w in &wanted {
+        let table: FigureTable = match w.as_str() {
+            "fig10" => averaged(&fig10),
+            "fig11" => averaged(&fig11),
+            "fig12" => averaged(&fig12),
+            "fig13" => averaged(&fig13),
+            "fig14" => averaged(&fig14),
+            "fig15" => averaged(&fig15),
+            "fig16" => averaged(&fig16),
+            "fig17" => fig17(&cfg),
+            "alu-sweep" => alu_sweep(&cfg),
+            "utilization" => averaged(&|s: &Suite| utilization(s, &cfg.sim)),
+            "workload-stats" => workload_stats(&cfg, 200_000),
+            "phase-analysis" => phase_analysis(&cfg),
+            "summary" => summary(&cfg),
+            other => {
+                eprintln!("unknown experiment {other}\n{USAGE}");
+                failures += 1;
+                continue;
+            }
+        };
+        println!("{table}");
+        if chart {
+            if let Some(bars) = table.columns.first().and_then(|c| table.render_bars(c, 40)) {
+                println!("{bars}");
+            }
+        }
+        let path = out_dir.join(format!("{}.csv", table.id));
+        match table.write_csv(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+        if svg {
+            let path = out_dir.join(format!("{}.svg", table.id));
+            match write_svg(&table, &path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+        if json {
+            let path = out_dir.join(format!("{}.json", table.id));
+            match table.write_json(&path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Print the Table-1 baseline machine (paper §4.1).
+fn print_config() {
+    let cfg = dcg_sim::SimConfig::baseline_8wide();
+    println!("Table 1 — baseline processor configuration");
+    println!(
+        "  processor : {}-way issue, {}-entry window, {}-entry load/store queue",
+        cfg.issue_width, cfg.rob_entries, cfg.lsq_entries
+    );
+    println!(
+        "  exec units: {} int ALUs, {} int mul/div, {} FP ALUs, {} FP mul/div, {} cache ports",
+        cfg.int_alus, cfg.int_muldivs, cfg.fp_alus, cfg.fp_muldivs, cfg.mem_ports
+    );
+    println!(
+        "  bpred     : 2-level, {}-entry PHT, {}-bit history, {}-entry {}-way BTB, {}-entry RAS",
+        cfg.bpred.pht_entries,
+        cfg.bpred.history_bits,
+        cfg.bpred.btb_entries,
+        cfg.bpred.btb_ways,
+        cfg.bpred.ras_entries
+    );
+    println!(
+        "  caches    : {} KB {}-way {}-cycle I/D L1, {} MB {}-way {}-cycle L2, LRU",
+        cfg.icache.size_bytes >> 10,
+        cfg.icache.ways,
+        cfg.icache.latency,
+        cfg.l2.size_bytes >> 20,
+        cfg.l2.ways,
+        cfg.l2.latency
+    );
+    println!(
+        "  memory    : infinite capacity, {}-cycle latency",
+        cfg.mem_latency
+    );
+    println!(
+        "  pipeline  : {} stages ({} gateable latch groups)",
+        cfg.depth.total(),
+        dcg_sim::LatchGroups::new(&cfg.depth).gated_count()
+    );
+}

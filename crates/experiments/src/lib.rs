@@ -1,0 +1,42 @@
+//! # dcg-experiments — regeneration of every table and figure
+//!
+//! One function per evaluation artefact of the paper:
+//!
+//! | artefact | function | paper reference values |
+//! |---|---|---|
+//! | Figure 10 | [`fig10`] | DCG 20.9 / 18.8 %, PLB-orig 6.3 / 4.9 %, PLB-ext 11.0 / 8.7 % |
+//! | Figure 11 | [`fig11`] | PLB-orig 3.5 / 2.0 %, PLB-ext 8.3 / 5.9 %, 2.9 % perf loss |
+//! | Figure 12 | [`fig12`] | DCG 72.0 %, PLB-ext 29.6 % |
+//! | Figure 13 | [`fig13`] | DCG 77.2 % (fp) / ~100 % (int), PLB-ext 23.0 % |
+//! | Figure 14 | [`fig14`] | DCG 41.6 %, PLB-ext 17.6 % |
+//! | Figure 15 | [`fig15`] | DCG 22.6 %, PLB-ext 8.1 % |
+//! | Figure 16 | [`fig16`] | DCG 59.6 %, PLB-ext 32.2 % |
+//! | Figure 17 | [`fig17`] | 19.9 % (8-stage) → 24.5 % (20-stage) |
+//! | §4.4 sweep | [`alu_sweep`] | 98.8 % @ 6 ALUs, 92.7 % @ 4 (worst case) |
+//! | §5.2-5.5 utilizations | [`utilization`] | int 35/25 %, fp 0/23 %, latches 60 %, ports 40 %, bus 40 % |
+//!
+//! The `repro` binary drives these from the command line and writes CSVs
+//! under `results/`.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod alu_sweep;
+mod figures;
+mod phases;
+mod suite;
+mod summary;
+mod svg;
+mod table;
+mod utilization;
+mod workload_stats;
+
+pub use alu_sweep::{alu_sweep, ALU_COUNTS};
+pub use figures::{fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
+pub use phases::{phase_analysis, PhaseSeries};
+pub use suite::{BenchmarkRun, ExperimentConfig, Suite};
+pub use summary::summary;
+pub use svg::{render_svg, write_svg};
+pub use table::FigureTable;
+pub use utilization::utilization;
+pub use workload_stats::workload_stats;

@@ -1,0 +1,184 @@
+//! Program-phase (ILP-variation) analysis.
+//!
+//! PLB's whole premise (paper §1, citing [1]) is that ILP varies across
+//! 256-cycle windows, so width can be predicted from the recent past. This
+//! experiment measures that premise on our workloads: the per-window issue
+//! IPC distribution, how often windows fall under PLB's triggers, and how
+//! often adjacent windows *disagree* — the instability that turns PLB's
+//! prediction into mispredictions (performance loss or lost opportunity).
+
+use dcg_core::PlbConfig;
+use dcg_sim::{Processor, SimConfig};
+use dcg_workloads::SyntheticWorkload;
+
+use crate::suite::ExperimentConfig;
+use crate::table::FigureTable;
+
+/// Per-window issue-IPC series for one benchmark.
+#[derive(Debug, Clone)]
+pub struct PhaseSeries {
+    /// Window length in cycles.
+    pub window: u64,
+    /// Issue IPC per window, in time order.
+    pub ipc: Vec<f64>,
+}
+
+impl PhaseSeries {
+    /// Measure `windows` windows of `window` cycles each (after a warm-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `windows == 0`.
+    pub fn measure(
+        cfg: &SimConfig,
+        workload: SyntheticWorkload,
+        window: u64,
+        windows: usize,
+    ) -> PhaseSeries {
+        assert!(window > 0 && windows > 0, "need a non-empty measurement");
+        let mut cpu = Processor::new(cfg.clone(), workload);
+        cpu.run_until_commits(20_000, |_| {});
+        let mut ipc = Vec::with_capacity(windows);
+        let mut issued = 0u64;
+        let mut cycles = 0u64;
+        while ipc.len() < windows {
+            let act = cpu.step();
+            issued += u64::from(act.issued);
+            cycles += 1;
+            if cycles == window {
+                ipc.push(issued as f64 / window as f64);
+                issued = 0;
+                cycles = 0;
+            }
+        }
+        PhaseSeries { window, ipc }
+    }
+
+    /// Mean window IPC.
+    pub fn mean(&self) -> f64 {
+        self.ipc.iter().sum::<f64>() / self.ipc.len() as f64
+    }
+
+    /// Standard deviation of window IPC.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        (self.ipc.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.ipc.len() as f64).sqrt()
+    }
+
+    /// Fraction of windows with IPC below `threshold`.
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        self.ipc.iter().filter(|v| **v < threshold).count() as f64 / self.ipc.len() as f64
+    }
+
+    /// Fraction of adjacent window pairs that land in *different* PLB modes
+    /// under `plb` thresholds — each flip is a window PLB necessarily
+    /// predicts wrong (it acts on the previous window's mode).
+    pub fn mode_flip_rate(&self, plb: &PlbConfig) -> f64 {
+        if self.ipc.len() < 2 {
+            return 0.0;
+        }
+        let mode = |ipc: f64| {
+            if ipc < plb.to4_ipc {
+                0u8
+            } else if ipc < plb.to6_ipc {
+                1
+            } else {
+                2
+            }
+        };
+        let flips = self
+            .ipc
+            .windows(2)
+            .filter(|w| mode(w[0]) != mode(w[1]))
+            .count();
+        flips as f64 / (self.ipc.len() - 1) as f64
+    }
+}
+
+/// Build the phase-analysis table for the benchmarks in `cfg`.
+pub fn phase_analysis(cfg: &ExperimentConfig) -> FigureTable {
+    let plb = PlbConfig::default();
+    let mut t = FigureTable::new(
+        "phase-analysis",
+        "Per-256-cycle-window issue IPC: PLB's prediction substrate",
+        vec![
+            "mean".into(),
+            "std".into(),
+            "below-to4%".into(),
+            "below-to6%".into(),
+            "mode-flips%".into(),
+        ],
+    );
+    for p in &cfg.benchmarks {
+        let s = PhaseSeries::measure(&cfg.sim, SyntheticWorkload::new(*p, cfg.seed), 256, 400);
+        t.push_row(
+            p.name,
+            vec![
+                s.mean(),
+                s.std_dev(),
+                100.0 * s.fraction_below(plb.to4_ipc),
+                100.0 * s.fraction_below(plb.to6_ipc),
+                100.0 * s.mode_flip_rate(&plb),
+            ],
+        );
+    }
+    t.note("window-to-window mode flips are windows PLB necessarily gets wrong;");
+    t.note("DCG needs no prediction, so phase instability costs it nothing");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcg_workloads::Spec2000;
+
+    fn series(name: &str) -> PhaseSeries {
+        PhaseSeries::measure(
+            &SimConfig::baseline_8wide(),
+            SyntheticWorkload::new(Spec2000::by_name(name).unwrap(), 42),
+            256,
+            100,
+        )
+    }
+
+    #[test]
+    fn series_has_requested_shape() {
+        let s = series("gzip");
+        assert_eq!(s.ipc.len(), 100);
+        assert!(s.mean() > 0.5 && s.mean() < 8.0);
+        assert!(s.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_in_threshold() {
+        let s = series("twolf");
+        assert!(s.fraction_below(1.0) <= s.fraction_below(3.0));
+        assert!(s.fraction_below(100.0) == 1.0);
+        assert!(s.fraction_below(0.0) == 0.0);
+    }
+
+    #[test]
+    fn stall_heavy_benchmarks_sit_below_the_triggers() {
+        let mcf = series("mcf");
+        let gzip = series("gzip");
+        let plb = PlbConfig::default();
+        assert!(
+            mcf.fraction_below(plb.to6_ipc) > gzip.fraction_below(plb.to6_ipc),
+            "mcf's windows are slower than gzip's"
+        );
+    }
+
+    #[test]
+    fn flip_rate_is_a_probability() {
+        let s = series("parser");
+        let rate = s.mode_flip_rate(&PlbConfig::default());
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn phase_table_builds() {
+        let cfg = ExperimentConfig::quick();
+        let t = phase_analysis(&cfg);
+        assert_eq!(t.rows.len(), cfg.benchmarks.len());
+    }
+}

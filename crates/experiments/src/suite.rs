@@ -1,0 +1,296 @@
+//! Suite orchestration: run every benchmark under the baseline, DCG and
+//! (optionally) both PLB variants.
+
+use dcg_core::{run_active, run_passive, Dcg, NoGating, Plb, PlbVariant, PolicyOutcome, RunLength};
+use dcg_power::{Component, PowerReport};
+use dcg_sim::{LatchGroups, SimConfig, SimStats};
+use dcg_workloads::{BenchmarkProfile, Spec2000, SuiteKind, SyntheticWorkload};
+
+/// Experiment-wide parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Machine configuration (Table 1 by default).
+    pub sim: SimConfig,
+    /// Run length per benchmark.
+    pub length: RunLength,
+    /// Workload seed (fixed for reproducibility).
+    pub seed: u64,
+    /// Benchmarks to run.
+    pub benchmarks: Vec<BenchmarkProfile>,
+}
+
+impl ExperimentConfig {
+    /// The full-suite configuration used for the published-figure
+    /// reproductions.
+    pub fn standard() -> ExperimentConfig {
+        ExperimentConfig {
+            sim: SimConfig::baseline_8wide(),
+            length: RunLength::standard(),
+            seed: 42,
+            benchmarks: Spec2000::all(),
+        }
+    }
+
+    /// A fast configuration for tests: three representative benchmarks,
+    /// short runs.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            sim: SimConfig::baseline_8wide(),
+            length: RunLength::quick(),
+            seed: 42,
+            benchmarks: ["gzip", "mcf", "swim"]
+                .iter()
+                .map(|n| Spec2000::by_name(n).expect("known benchmark"))
+                .collect(),
+        }
+    }
+}
+
+/// Results for one benchmark across the compared schemes.
+#[derive(Debug)]
+pub struct BenchmarkRun {
+    /// The benchmark profile.
+    pub profile: BenchmarkProfile,
+    /// Ungated base-case energy.
+    pub baseline: PowerReport,
+    /// DCG outcome (same timing run as the baseline).
+    pub dcg: PolicyOutcome,
+    /// PLB-orig outcome (dedicated run), when requested.
+    pub plb_orig: Option<PolicyOutcome>,
+    /// PLB-ext outcome (dedicated run), when requested.
+    pub plb_ext: Option<PolicyOutcome>,
+    /// Simulator statistics of the baseline/DCG run's measured window.
+    pub stats: SimStats,
+}
+
+impl BenchmarkRun {
+    /// DCG total-power saving vs. the base case.
+    pub fn dcg_total_saving(&self) -> f64 {
+        self.dcg.report.power_saving_vs(&self.baseline)
+    }
+
+    /// DCG power-delay saving (equals the power saving: no slowdown).
+    pub fn dcg_power_delay_saving(&self) -> f64 {
+        self.dcg.report.power_delay_saving_vs(&self.baseline)
+    }
+
+    /// DCG saving on one component.
+    pub fn dcg_component_saving(&self, c: Component) -> f64 {
+        self.dcg.report.component_saving_vs(&self.baseline, c)
+    }
+
+    /// DCG saving on the whole D-cache (decoders + array), Figure 15's
+    /// denominator.
+    pub fn dcg_dcache_saving(&self) -> f64 {
+        dcache_saving(&self.dcg.report, &self.baseline)
+    }
+
+    /// DCG pipeline-latch saving *including* its control-overhead charge
+    /// (the paper's Figure 14 accounting: "the power saving achieved with
+    /// DCG includes the power overhead due to DCG's extended latches").
+    pub fn dcg_latch_saving_incl_overhead(&self) -> f64 {
+        let n = self.dcg.report.cycles().max(1) as f64;
+        let own = (self.dcg.report.component_pj(Component::PipelineLatch)
+            + self.dcg.report.component_pj(Component::GatingControl))
+            / n;
+        let base = self.baseline.component_pj(Component::PipelineLatch)
+            / self.baseline.cycles().max(1) as f64;
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - own / base
+        }
+    }
+
+    /// PLB total-power saving (`variant` must have been run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested PLB variant was not run.
+    pub fn plb_total_saving(&self, variant: PlbVariant) -> f64 {
+        self.plb(variant).report.power_saving_vs(&self.baseline)
+    }
+
+    /// PLB power-delay saving.
+    pub fn plb_power_delay_saving(&self, variant: PlbVariant) -> f64 {
+        self.plb(variant)
+            .report
+            .power_delay_saving_vs(&self.baseline)
+    }
+
+    /// PLB relative performance (1.0 = no loss).
+    pub fn plb_relative_performance(&self, variant: PlbVariant) -> f64 {
+        self.plb(variant)
+            .report
+            .relative_performance_vs(&self.baseline)
+    }
+
+    /// PLB component saving.
+    pub fn plb_component_saving(&self, variant: PlbVariant, c: Component) -> f64 {
+        self.plb(variant)
+            .report
+            .component_saving_vs(&self.baseline, c)
+    }
+
+    /// PLB whole-D-cache saving.
+    pub fn plb_dcache_saving(&self, variant: PlbVariant) -> f64 {
+        dcache_saving(&self.plb(variant).report, &self.baseline)
+    }
+
+    fn plb(&self, variant: PlbVariant) -> &PolicyOutcome {
+        let o = match variant {
+            PlbVariant::Orig => self.plb_orig.as_ref(),
+            PlbVariant::Ext => self.plb_ext.as_ref(),
+        };
+        o.unwrap_or_else(|| panic!("PLB {variant:?} was not run for {}", self.profile.name))
+    }
+}
+
+/// Power saving over the combined D-cache (decoder + array).
+fn dcache_saving(own: &PowerReport, base: &PowerReport) -> f64 {
+    let own_pj = (own.component_pj(Component::DcacheDecoder)
+        + own.component_pj(Component::DcacheArray))
+        / own.cycles().max(1) as f64;
+    let base_pj = (base.component_pj(Component::DcacheDecoder)
+        + base.component_pj(Component::DcacheArray))
+        / base.cycles().max(1) as f64;
+    if base_pj == 0.0 {
+        0.0
+    } else {
+        1.0 - own_pj / base_pj
+    }
+}
+
+/// The full set of per-benchmark runs for one experiment configuration.
+#[derive(Debug)]
+pub struct Suite {
+    /// One entry per benchmark, in configuration order.
+    pub runs: Vec<BenchmarkRun>,
+}
+
+impl Suite {
+    /// Run the suite. `with_plb` also runs both PLB variants (three
+    /// simulations per benchmark instead of one). Benchmarks run on
+    /// parallel threads; results are returned in configuration order and
+    /// are bit-identical to a serial run (every simulation is
+    /// deterministic).
+    pub fn run(cfg: &ExperimentConfig, with_plb: bool) -> Suite {
+        let runs = std::thread::scope(|scope| {
+            let handles: Vec<_> = cfg
+                .benchmarks
+                .iter()
+                .map(|profile| scope.spawn(move || Self::run_one(cfg, *profile, with_plb)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("benchmark thread panicked"))
+                .collect()
+        });
+        Suite { runs }
+    }
+
+    /// Run one benchmark under all requested schemes.
+    fn run_one(cfg: &ExperimentConfig, profile: BenchmarkProfile, with_plb: bool) -> BenchmarkRun {
+        let groups = LatchGroups::new(&cfg.sim.depth);
+        let mut baseline = NoGating::new(&cfg.sim, &groups);
+        let mut dcg = Dcg::new(&cfg.sim, &groups);
+        let mut run = run_passive(
+            &cfg.sim,
+            SyntheticWorkload::new(profile, cfg.seed),
+            cfg.length,
+            &mut [&mut baseline, &mut dcg],
+        );
+        let dcg_out = run.outcomes.remove(1);
+        let base_out = run.outcomes.remove(0);
+
+        let (plb_orig, plb_ext) = if with_plb {
+            let mut orig = Plb::new(PlbVariant::Orig, &cfg.sim, &groups);
+            let o = run_active(
+                &cfg.sim,
+                SyntheticWorkload::new(profile, cfg.seed),
+                cfg.length,
+                &mut orig,
+            );
+            let mut ext = Plb::new(PlbVariant::Ext, &cfg.sim, &groups);
+            let e = run_active(
+                &cfg.sim,
+                SyntheticWorkload::new(profile, cfg.seed),
+                cfg.length,
+                &mut ext,
+            );
+            (Some(o), Some(e))
+        } else {
+            (None, None)
+        };
+
+        BenchmarkRun {
+            profile,
+            baseline: base_out.report,
+            dcg: dcg_out,
+            plb_orig,
+            plb_ext,
+            stats: run.stats,
+        }
+    }
+
+    /// Iterate runs belonging to one half of the suite.
+    pub fn of_kind(&self, kind: SuiteKind) -> impl Iterator<Item = &BenchmarkRun> {
+        self.runs.iter().filter(move |r| r.profile.suite == kind)
+    }
+
+    /// Arithmetic mean of `f` over runs of `kind`.
+    pub fn mean_of(&self, kind: SuiteKind, f: impl Fn(&BenchmarkRun) -> f64) -> f64 {
+        let values: Vec<f64> = self.of_kind(kind).map(f).collect();
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Arithmetic mean of `f` over all runs.
+    pub fn mean(&self, f: impl Fn(&BenchmarkRun) -> f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(f).sum::<f64>() / self.runs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_runs_and_dcg_wins() {
+        let cfg = ExperimentConfig::quick();
+        let suite = Suite::run(&cfg, false);
+        assert_eq!(suite.runs.len(), 3);
+        for run in &suite.runs {
+            assert_eq!(run.dcg.audit.violations, 0, "{}", run.profile.name);
+            assert!(
+                run.dcg_total_saving() > 0.05,
+                "{}: saving {}",
+                run.profile.name,
+                run.dcg_total_saving()
+            );
+            // DCG costs no cycles, so power-delay saving == power saving.
+            assert!(
+                (run.dcg_power_delay_saving() - run.dcg_total_saving()).abs() < 1e-9,
+                "{}",
+                run.profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_means_partition_by_kind() {
+        let cfg = ExperimentConfig::quick();
+        let suite = Suite::run(&cfg, false);
+        let int_n = suite.of_kind(SuiteKind::Int).count();
+        let fp_n = suite.of_kind(SuiteKind::Fp).count();
+        assert_eq!(int_n + fp_n, suite.runs.len());
+        let mean_all = suite.mean(|r| r.dcg_total_saving());
+        assert!(mean_all > 0.0 && mean_all < 1.0);
+    }
+}

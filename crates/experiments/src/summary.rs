@@ -1,0 +1,88 @@
+//! The headline paper-vs-measured summary (the table README.md quotes).
+
+use dcg_core::PlbVariant;
+use dcg_sim::SimConfig;
+use dcg_workloads::SuiteKind;
+
+use crate::suite::{ExperimentConfig, Suite};
+use crate::table::FigureTable;
+
+/// Run the full comparison and produce the headline summary rows with the
+/// paper's numbers alongside the measured ones.
+pub fn summary(cfg: &ExperimentConfig) -> FigureTable {
+    let suite = Suite::run(cfg, true);
+
+    let mut cfg20 = cfg.clone();
+    cfg20.sim = SimConfig {
+        depth: dcg_sim::PipelineDepth::stages20(),
+        ..cfg.sim.clone()
+    };
+    let suite20 = Suite::run(&cfg20, false);
+
+    let pct = |x: f64| 100.0 * x;
+    let mut t = FigureTable::new(
+        "summary",
+        "Headline results: paper vs this reproduction (%)",
+        vec!["paper".into(), "measured".into()],
+    );
+    t.push_row(
+        "dcg-int",
+        vec![
+            20.9,
+            pct(suite.mean_of(SuiteKind::Int, |r| r.dcg_total_saving())),
+        ],
+    );
+    t.push_row(
+        "dcg-fp",
+        vec![
+            18.8,
+            pct(suite.mean_of(SuiteKind::Fp, |r| r.dcg_total_saving())),
+        ],
+    );
+    t.push_row(
+        "plb-orig-int",
+        vec![
+            6.3,
+            pct(suite.mean_of(SuiteKind::Int, |r| r.plb_total_saving(PlbVariant::Orig))),
+        ],
+    );
+    t.push_row(
+        "plb-ext-int",
+        vec![
+            11.0,
+            pct(suite.mean_of(SuiteKind::Int, |r| r.plb_total_saving(PlbVariant::Ext))),
+        ],
+    );
+    t.push_row(
+        "plb-perf-loss",
+        vec![
+            2.9,
+            pct(1.0 - suite.mean(|r| r.plb_relative_performance(PlbVariant::Orig))),
+        ],
+    );
+    t.push_row("dcg-perf-loss", vec![0.0, pct(1.0 - suite.mean(|_| 1.0))]);
+    t.push_row(
+        "dcg-20stage",
+        vec![24.5, pct(suite20.mean(|r| r.dcg_total_saving()))],
+    );
+    t.note("rows correspond to Figures 10, 11 and 17; full tables in EXPERIMENTS.md");
+    t.note("shape target: orderings and rough factors, not absolute matches");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_has_expected_shape() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.benchmarks.truncate(2);
+        let t = summary(&cfg);
+        assert_eq!(t.columns, vec!["paper", "measured"]);
+        let dcg = t.value("dcg-int", "measured").unwrap();
+        let plb = t.value("plb-orig-int", "measured").unwrap();
+        assert!(dcg > plb, "DCG must beat PLB in the summary");
+        assert_eq!(t.value("dcg-perf-loss", "measured"), Some(0.0));
+    }
+}

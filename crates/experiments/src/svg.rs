@@ -1,0 +1,184 @@
+//! SVG rendering of figure tables: regenerates the paper's grouped-bar
+//! figures as standalone vector images (no external dependencies — the
+//! renderer emits plain SVG 1.1).
+
+use std::path::Path;
+
+use crate::table::FigureTable;
+
+/// Series colours (colour-blind-safe hues).
+const PALETTE: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
+
+const BAR_H: f64 = 14.0;
+const GROUP_PAD: f64 = 10.0;
+const LEFT: f64 = 110.0;
+const TOP: f64 = 56.0;
+const PLOT_W: f64 = 560.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Render `table` as a grouped horizontal bar chart.
+///
+/// Negative values are clamped to zero (the paper's figures plot savings
+/// percentages; tiny negative PLB savings render as empty bars).
+pub fn render_svg(table: &FigureTable) -> String {
+    let series = table.columns.len();
+    let group_h = series as f64 * BAR_H + GROUP_PAD;
+    let plot_h = table.rows.len() as f64 * group_h;
+    let height = TOP + plot_h + 46.0;
+    let width = LEFT + PLOT_W + 170.0;
+
+    let max = table
+        .rows
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="Helvetica, Arial, sans-serif">"##
+    ));
+    s.push_str(&format!(
+        r##"<text x="{:.0}" y="22" font-size="14" font-weight="bold">{}</text>"##,
+        LEFT,
+        esc(&table.title)
+    ));
+    s.push_str(&format!(
+        r##"<text x="{:.0}" y="40" font-size="11" fill="#555">{}</text>"##,
+        LEFT,
+        esc(&table.id)
+    ));
+
+    // Gridlines and x-axis ticks at quarters of the maximum.
+    for q in 0..=4 {
+        let frac = f64::from(q) / 4.0;
+        let x = LEFT + frac * PLOT_W;
+        s.push_str(&format!(
+            r##"<line x1="{x:.1}" y1="{TOP:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd" stroke-width="1"/>"##,
+            TOP + plot_h
+        ));
+        s.push_str(&format!(
+            r##"<text x="{x:.1}" y="{:.1}" font-size="10" fill="#555" text-anchor="middle">{:.1}</text>"##,
+            TOP + plot_h + 16.0,
+            frac * max
+        ));
+    }
+
+    for (gi, (label, values)) in table.rows.iter().enumerate() {
+        let gy = TOP + gi as f64 * group_h;
+        s.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"##,
+            LEFT - 8.0,
+            gy + (series as f64 * BAR_H) / 2.0 + 4.0,
+            esc(label)
+        ));
+        for (si, v) in values.iter().enumerate() {
+            let w = (v.max(0.0) / max) * PLOT_W;
+            let y = gy + si as f64 * BAR_H;
+            s.push_str(&format!(
+                r##"<rect x="{LEFT:.1}" y="{y:.1}" width="{w:.2}" height="{:.1}" fill="{}"/>"##,
+                BAR_H - 2.0,
+                PALETTE[si % PALETTE.len()]
+            ));
+            s.push_str(&format!(
+                r##"<text x="{:.1}" y="{:.1}" font-size="9" fill="#333">{v:.1}</text>"##,
+                LEFT + w + 4.0,
+                y + BAR_H - 4.0
+            ));
+        }
+    }
+
+    // Legend.
+    for (si, col) in table.columns.iter().enumerate() {
+        let y = TOP + si as f64 * 18.0;
+        let x = LEFT + PLOT_W + 24.0;
+        s.push_str(&format!(
+            r##"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{}"/>"##,
+            y - 10.0,
+            PALETTE[si % PALETTE.len()]
+        ));
+        s.push_str(&format!(
+            r##"<text x="{:.1}" y="{y:.1}" font-size="11">{}</text>"##,
+            x + 18.0,
+            esc(col)
+        ));
+    }
+
+    s.push_str("</svg>");
+    s
+}
+
+/// Render `table` and write it to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_svg(table: &FigureTable, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, render_svg(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureTable {
+        let mut t = FigureTable::new(
+            "figure-x",
+            "A <sample> & title",
+            vec!["dcg".into(), "plb".into()],
+        );
+        t.push_row("gzip", vec![20.0, 5.0]);
+        t.push_row("mcf", vec![32.0, -1.0]);
+        t
+    }
+
+    #[test]
+    fn svg_is_structurally_sound() {
+        let svg = render_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(
+            svg.matches("<rect").count(),
+            4 + 2,
+            "bars + legend swatches"
+        );
+        assert!(svg.contains("gzip") && svg.contains("mcf"));
+        assert!(svg.contains("dcg") && svg.contains("plb"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = render_svg(&sample());
+        assert!(svg.contains("&lt;sample&gt; &amp; title"));
+        assert!(!svg.contains("<sample>"));
+    }
+
+    #[test]
+    fn bar_widths_scale_with_values() {
+        let svg = render_svg(&sample());
+        // mcf's 32.0 is the max: its bar spans the full plot width.
+        assert!(svg.contains(&format!(r##"width="{:.2}""##, PLOT_W)));
+        // The negative PLB value clamps to an empty bar.
+        assert!(svg.contains(r##"width="0.00""##));
+    }
+
+    #[test]
+    fn write_svg_creates_dirs() {
+        let dir = std::env::temp_dir().join("dcg_svg_test");
+        let path = dir.join("nested").join("f.svg");
+        write_svg(&sample(), &path).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read");
+        assert!(body.contains("</svg>"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,347 @@
+//! Rendered experiment outputs: the rows/series the paper's figures plot.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One reproduced table/figure: labelled rows of numeric series plus the
+/// paper's reference values for the summary rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Identifier, e.g. `"figure-10"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (series names), excluding the row-label column.
+    pub columns: Vec<String>,
+    /// Rows: label plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-form notes comparing against the paper's reported values.
+    pub notes: Vec<String>,
+}
+
+impl FigureTable {
+    /// Create an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+    ) -> FigureTable {
+        FigureTable {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match the column count"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Append a comparison note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Value at (`row_label`, `column`).
+    pub fn value(&self, row_label: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self.rows.iter().find(|(l, _)| l == row_label)?;
+        row.1.get(col).copied()
+    }
+
+    /// Render one column as a horizontal ASCII bar chart — a quick visual
+    /// stand-in for the paper's bar figures.
+    ///
+    /// Returns `None` when the column does not exist or has no positive
+    /// values to scale against.
+    pub fn render_bars(&self, column: &str, width: usize) -> Option<String> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let max = self
+            .rows
+            .iter()
+            .map(|(_, v)| v[col])
+            .fold(f64::MIN, f64::max);
+        if max.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return None;
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{} — {} [{}]\n", self.id, self.title, column));
+        for (label, values) in &self.rows {
+            let v = values[col];
+            let filled = ((v / max) * width as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "{label:<12} |{}{} {v:.1}\n",
+                "#".repeat(filled.min(width)),
+                " ".repeat(width - filled.min(width)),
+            ));
+        }
+        Some(out)
+    }
+
+    /// Element-wise average of several tables with identical shape
+    /// (used to average an experiment across workload seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or the shapes (id, columns, row labels)
+    /// disagree.
+    pub fn average(tables: &[FigureTable]) -> FigureTable {
+        let first = tables.first().expect("need at least one table");
+        let mut avg = first.clone();
+        for t in &tables[1..] {
+            assert_eq!(t.id, first.id, "averaging different experiments");
+            assert_eq!(t.columns, first.columns, "column mismatch");
+            assert_eq!(t.rows.len(), first.rows.len(), "row-count mismatch");
+            for ((al, av), (tl, tv)) in avg.rows.iter_mut().zip(&t.rows) {
+                assert_eq!(al, tl, "row-label mismatch");
+                for (a, v) in av.iter_mut().zip(tv) {
+                    *a += v;
+                }
+            }
+        }
+        let n = tables.len() as f64;
+        for (_, values) in &mut avg.rows {
+            for v in values {
+                *v /= n;
+            }
+        }
+        if tables.len() > 1 {
+            avg.note(format!("averaged over {} runs", tables.len()));
+        }
+        avg
+    }
+
+    /// Serialise as a self-describing JSON document (hand-rolled writer:
+    /// the schema is flat and adding a serde dependency for it would be
+    /// overkill — justification in DESIGN.md §8).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::from("{");
+        s.push_str(&format!("\"id\":\"{}\",", esc(&self.id)));
+        s.push_str(&format!("\"title\":\"{}\",", esc(&self.title)));
+        s.push_str("\"columns\":[");
+        s.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| format!("\"{}\"", esc(c)))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push_str("],\"rows\":[");
+        s.push_str(
+            &self
+                .rows
+                .iter()
+                .map(|(label, values)| {
+                    format!(
+                        "{{\"label\":\"{}\",\"values\":[{}]}}",
+                        esc(label),
+                        values.iter().map(|v| num(*v)).collect::<Vec<_>>().join(",")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push_str("],\"notes\":[");
+        s.push_str(
+            &self
+                .notes
+                .iter()
+                .map(|n| format!("\"{}\"", esc(n)))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push_str("]}");
+        s
+    }
+
+    /// Write the table as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Write the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        write!(f, "label")?;
+        for c in &self.columns {
+            write!(f, ",{c}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label}")?;
+            for v in values {
+                write!(f, ",{v:.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        write!(f, "{:<12}", "")?;
+        for c in &self.columns {
+            write!(f, " {c:>12}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<12}")?;
+            for v in values {
+                write!(f, " {v:>12.2}")?;
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureTable {
+        let mut t = FigureTable::new("figure-0", "sample", vec!["a".into(), "b".into()]);
+        t.push_row("x", vec![1.0, 2.0]);
+        t.push_row("y", vec![3.0, 4.0]);
+        t.note("paper reports 2.5");
+        t
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = sample();
+        assert_eq!(t.value("x", "b"), Some(2.0));
+        assert_eq!(t.value("y", "a"), Some(3.0));
+        assert_eq!(t.value("z", "a"), None);
+        assert_eq!(t.value("x", "c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = sample();
+        t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let s = sample().to_string();
+        assert!(s.contains("figure-0"));
+        assert!(s.contains('x') && s.contains('y'));
+        assert!(s.contains("paper reports"));
+    }
+
+    #[test]
+    fn average_is_elementwise() {
+        let mut a = sample();
+        let mut b = sample();
+        a.rows[0].1 = vec![2.0, 4.0];
+        b.rows[0].1 = vec![4.0, 8.0];
+        let avg = FigureTable::average(&[a, b]);
+        assert_eq!(avg.rows[0].1, vec![3.0, 6.0]);
+        assert!(avg.notes.iter().any(|n| n.contains("averaged over 2")));
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn average_rejects_shape_mismatch() {
+        let a = sample();
+        let mut b = sample();
+        b.columns.push("c".into());
+        b.rows[0].1.push(0.0);
+        b.rows[1].1.push(0.0);
+        let _ = FigureTable::average(&[a, b]);
+    }
+
+    #[test]
+    fn json_has_escapes_and_structure() {
+        let mut t = FigureTable::new("f-1", "say \"hi\"", vec!["a".into()]);
+        t.push_row("x\\y", vec![1.5]);
+        t.note("n");
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"say \\\"hi\\\"\""));
+        assert!(json.contains("x\\\\y"));
+        assert!(json.contains("\"values\":[1.5]"));
+        assert!(json.contains("\"notes\":[\"n\"]"));
+    }
+
+    #[test]
+    fn json_non_finite_becomes_null() {
+        let mut t = FigureTable::new("f", "t", vec!["a".into()]);
+        t.push_row("x", vec![f64::NAN]);
+        assert!(t.to_json().contains("\"values\":[null]"));
+    }
+
+    #[test]
+    fn bars_render_scaled() {
+        let chart = sample().render_bars("b", 10).expect("column exists");
+        assert!(chart.contains("x") && chart.contains("y"));
+        // y (4.0) is the max: full width; x (2.0) is half.
+        assert!(chart.contains(&"#".repeat(10)));
+        assert!(chart.contains(&format!("{}{}", "#".repeat(5), " ".repeat(5))));
+        assert!(sample().render_bars("nope", 10).is_none());
+    }
+
+    #[test]
+    fn bars_handle_nonpositive_columns() {
+        let mut t = FigureTable::new("f", "t", vec!["a".into()]);
+        t.push_row("x", vec![-1.0]);
+        assert!(t.render_bars("a", 10).is_none());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("dcg_table_test");
+        let path = dir.join("t.csv");
+        sample().write_csv(&path).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read");
+        let mut lines = body.lines();
+        assert_eq!(lines.next(), Some("label,a,b"));
+        assert_eq!(lines.next(), Some("x,1.0000,2.0000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! §5.2–§5.5 utilization statistics.
+//!
+//! The paper motivates each component's expected savings from measured
+//! utilizations: integer units ≈ 35 % (int) / 25 % (fp), FP units ≈ 0 /
+//! 23 %, pipeline latches ≈ 60 %, memory ports ≈ 40 %, result buses
+//! ≈ 40 %. This table regenerates those statistics so the expected-saving
+//! arguments can be checked against the measured savings.
+
+use crate::suite::Suite;
+use crate::table::FigureTable;
+use dcg_sim::SimConfig;
+
+/// Build the utilization table for an already-run suite.
+pub fn utilization(suite: &Suite, sim: &SimConfig) -> FigureTable {
+    let mut t = FigureTable::new(
+        "utilization",
+        "Component utilizations (%) and IPC",
+        vec![
+            "ipc".into(),
+            "int-units".into(),
+            "fp-units".into(),
+            "mem-ports".into(),
+            "result-bus".into(),
+            "latches".into(),
+        ],
+    );
+    for run in &suite.runs {
+        let s = &run.stats;
+        t.push_row(
+            run.profile.name,
+            vec![
+                s.ipc(),
+                100.0 * s.int_unit_utilization(sim),
+                100.0 * s.fp_unit_utilization(sim),
+                100.0 * s.port_utilization(sim),
+                100.0 * s.result_bus_utilization(sim),
+                100.0 * s.mean_latch_utilization(sim),
+            ],
+        );
+    }
+    t.note("paper: int units ~35 % (int suite) / ~25 % (fp suite); FP units ~0 / ~23 %");
+    t.note("paper: latches ~60 %, memory ports ~40 %, result bus ~40 %");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::ExperimentConfig;
+
+    #[test]
+    fn utilization_rows_are_bounded() {
+        let cfg = ExperimentConfig::quick();
+        let suite = Suite::run(&cfg, false);
+        let t = utilization(&suite, &cfg.sim);
+        assert_eq!(t.rows.len(), cfg.benchmarks.len());
+        for (label, values) in &t.rows {
+            assert!(values[0] > 0.0, "{label}: IPC must be positive");
+            for v in &values[1..] {
+                assert!((0.0..=100.0).contains(v), "{label}: utilization {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Workload characterisation table: the measured properties of every
+//! synthetic benchmark, next to the published SPEC2000 characteristics the
+//! profiles were calibrated against (DESIGN.md §2).
+
+use dcg_isa::OpClass;
+use dcg_workloads::{StreamAnalysis, SyntheticWorkload};
+
+use crate::suite::ExperimentConfig;
+use crate::table::FigureTable;
+
+/// Analyse every benchmark in `cfg` over `n` instructions.
+pub fn workload_stats(cfg: &ExperimentConfig, n: u64) -> FigureTable {
+    let mut t = FigureTable::new(
+        "workload-stats",
+        "Measured workload characteristics",
+        vec![
+            "mem%".into(),
+            "branch%".into(),
+            "fp%".into(),
+            "taken%".into(),
+            "ws-KiB".into(),
+            "code-KiB".into(),
+            "defuse".into(),
+        ],
+    );
+    for p in &cfg.benchmarks {
+        let mut w = SyntheticWorkload::new(*p, cfg.seed);
+        let a = StreamAnalysis::measure(&mut w, n);
+        let mem = a.fraction(OpClass::Load) + a.fraction(OpClass::Store);
+        let fp: f64 = OpClass::ALL
+            .iter()
+            .filter(|c| c.is_fp())
+            .map(|c| a.fraction(*c))
+            .sum();
+        t.push_row(
+            p.name,
+            vec![
+                100.0 * mem,
+                100.0 * a.fraction(OpClass::Branch),
+                100.0 * fp,
+                100.0 * a.branch_taken_rate,
+                a.data_working_set_bytes() as f64 / 1024.0,
+                a.code_footprint_bytes() as f64 / 1024.0,
+                a.mean_def_use_distance,
+            ],
+        );
+    }
+    t.note("working sets and mixes are the calibrated stand-ins for the paper's");
+    t.note("Alpha SPEC2000 binaries (substitution rationale in DESIGN.md)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_table_covers_all_benchmarks() {
+        let cfg = ExperimentConfig::quick();
+        let t = workload_stats(&cfg, 20_000);
+        assert_eq!(t.rows.len(), cfg.benchmarks.len());
+        for (label, values) in &t.rows {
+            assert!(values[0] > 5.0, "{label}: memory ops expected");
+            assert!(values[4] > 1.0, "{label}: nonzero working set");
+        }
+        // mcf's working set dwarfs gzip's.
+        let mcf = t.value("mcf", "ws-KiB").unwrap();
+        let gzip = t.value("gzip", "ws-KiB").unwrap();
+        assert!(mcf > gzip);
+    }
+}

@@ -1,0 +1,250 @@
+//! Compact binary encoding of [`Inst`] for trace storage and replay.
+//!
+//! An instruction packs into three 64-bit words:
+//!
+//! * word 0 — the program counter;
+//! * word 1 — packed operation class, operands and flags (layout below);
+//! * word 2 — the memory effective address, the branch target, or zero.
+//!
+//! Word 1 layout (LSB first):
+//!
+//! | bits  | field                                         |
+//! |-------|-----------------------------------------------|
+//! | 0..4  | operation class index                         |
+//! | 4     | destination present                           |
+//! | 5..12 | destination dense register index              |
+//! | 12    | source 0 present                              |
+//! | 13..20| source 0 dense register index                 |
+//! | 20    | source 1 present                              |
+//! | 21..28| source 1 dense register index                 |
+//! | 28..30| log2 of memory access size                    |
+//! | 30..32| branch kind                                   |
+//! | 32    | branch taken                                  |
+//!
+//! The encoding is exact: `decode_word(&encode_word(&i)) == Ok(i)` for every
+//! well-formed instruction (verified by a property test).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass};
+
+/// Error returned by [`decode_word`] for a corrupt encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeWordError {
+    /// The operation-class field holds an out-of-range index.
+    BadOpClass(u8),
+    /// A register field holds an out-of-range dense index.
+    BadRegister(u8),
+    /// The decoded instruction violates [`Inst::is_well_formed`].
+    Malformed,
+}
+
+impl fmt::Display for DecodeWordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeWordError::BadOpClass(v) => write!(f, "invalid operation class index {v}"),
+            DecodeWordError::BadRegister(v) => write!(f, "invalid register index {v}"),
+            DecodeWordError::Malformed => f.write_str("decoded instruction is malformed"),
+        }
+    }
+}
+
+impl Error for DecodeWordError {}
+
+fn pack_reg(reg: Option<ArchReg>) -> u64 {
+    match reg {
+        Some(r) => 1 | ((r.dense() as u64) << 1),
+        None => 0,
+    }
+}
+
+fn unpack_reg(bits: u64) -> Result<Option<ArchReg>, DecodeWordError> {
+    if bits & 1 == 0 {
+        return Ok(None);
+    }
+    let idx = ((bits >> 1) & 0x7f) as u8;
+    ArchReg::from_dense(idx)
+        .map(Some)
+        .ok_or(DecodeWordError::BadRegister(idx))
+}
+
+fn branch_kind_code(kind: BranchKind) -> u64 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Jump => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+    }
+}
+
+fn branch_kind_from_code(code: u64) -> BranchKind {
+    match code & 3 {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Jump,
+        2 => BranchKind::Call,
+        _ => BranchKind::Return,
+    }
+}
+
+/// Encode a well-formed instruction into three 64-bit words.
+///
+/// # Panics
+///
+/// Panics if `inst` is not [well-formed](Inst::is_well_formed).
+///
+/// # Example
+///
+/// ```
+/// use dcg_isa::{decode_word, encode_word, ArchReg, Inst, OpClass};
+///
+/// let inst = Inst::alu(0x400, OpClass::IntMul).with_dest(ArchReg::int(7));
+/// let words = encode_word(&inst);
+/// assert_eq!(decode_word(&words), Ok(inst));
+/// ```
+pub fn encode_word(inst: &Inst) -> [u64; 3] {
+    assert!(
+        inst.is_well_formed(),
+        "refusing to encode malformed {inst:?}"
+    );
+    let mut w1 = inst.op.index() as u64;
+    w1 |= pack_reg(inst.dest) << 4;
+    w1 |= pack_reg(inst.srcs[0]) << 12;
+    w1 |= pack_reg(inst.srcs[1]) << 20;
+
+    let mut w2 = 0u64;
+    if let Some(mem) = inst.mem {
+        let log2 = mem.size.trailing_zeros() as u64;
+        w1 |= (log2 & 3) << 28;
+        w2 = mem.addr;
+    }
+    if let Some(br) = inst.branch {
+        w1 |= branch_kind_code(br.kind) << 30;
+        w1 |= u64::from(br.taken) << 32;
+        w2 = br.target;
+    }
+    [inst.pc, w1, w2]
+}
+
+/// Decode three words produced by [`encode_word`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeWordError`] if any field is out of range or the decoded
+/// instruction would be malformed.
+pub fn decode_word(words: &[u64; 3]) -> Result<Inst, DecodeWordError> {
+    let [pc, w1, w2] = *words;
+    let op_idx = (w1 & 0xf) as u8;
+    let op = OpClass::from_index(usize::from(op_idx)).ok_or(DecodeWordError::BadOpClass(op_idx))?;
+
+    let dest = unpack_reg(w1 >> 4)?;
+    let src0 = unpack_reg(w1 >> 12)?;
+    let src1 = unpack_reg(w1 >> 20)?;
+
+    let mem = op.is_mem().then(|| {
+        let log2 = (w1 >> 28) & 3;
+        MemRef::new(w2, 1u8 << log2)
+    });
+    let branch = (op == OpClass::Branch).then(|| BranchInfo {
+        kind: branch_kind_from_code(w1 >> 30),
+        taken: (w1 >> 32) & 1 == 1,
+        target: w2,
+    });
+
+    let inst = Inst {
+        pc,
+        op,
+        dest,
+        srcs: [src0, src1],
+        mem,
+        branch,
+    };
+    if inst.is_well_formed() {
+        Ok(inst)
+    } else {
+        Err(DecodeWordError::Malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_alu() {
+        let i = Inst::alu(0xdead_beef_0000, OpClass::IntAlu)
+            .with_dest(ArchReg::int(3))
+            .with_srcs([Some(ArchReg::int(1)), Some(ArchReg::int(2))]);
+        assert_eq!(decode_word(&encode_word(&i)), Ok(i));
+    }
+
+    #[test]
+    fn roundtrip_load_store() {
+        for size in [1u8, 2, 4, 8] {
+            let ld = Inst::load(0x10, MemRef::new(0xffff_ffff_ffff_fff0, size))
+                .with_dest(ArchReg::fp(9))
+                .with_srcs([Some(ArchReg::int(30)), None]);
+            assert_eq!(decode_word(&encode_word(&ld)), Ok(ld));
+
+            let st = Inst::store(0x10, MemRef::new(0x40, size))
+                .with_srcs([Some(ArchReg::int(30)), Some(ArchReg::int(2))]);
+            assert_eq!(decode_word(&encode_word(&st)), Ok(st));
+        }
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for kind in BranchKind::ALL {
+            for taken in [true, false] {
+                if kind.is_unconditional() && !taken {
+                    continue;
+                }
+                let b = Inst::branch(
+                    0x7000,
+                    BranchInfo {
+                        kind,
+                        taken,
+                        target: 0x1234_5678,
+                    },
+                )
+                .with_srcs([Some(ArchReg::int(5)), None]);
+                assert_eq!(decode_word(&encode_word(&b)), Ok(b));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_op_class() {
+        let words = [0u64, 0xf, 0];
+        assert_eq!(decode_word(&words), Err(DecodeWordError::BadOpClass(0xf)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // op class 0 (IntAlu), dest present with dense index 127.
+        let w1 = (1 | (127 << 1)) << 4;
+        assert_eq!(
+            decode_word(&[0, w1, 0]),
+            Err(DecodeWordError::BadRegister(127))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn encode_rejects_malformed() {
+        let mut bad = Inst::load(0, MemRef::new(0, 8));
+        bad.mem = None;
+        let _ = encode_word(&bad);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DecodeWordError::BadOpClass(9),
+            DecodeWordError::BadRegister(99),
+            DecodeWordError::Malformed,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Operation classes and execution-unit classes.
+//!
+//! The simulator schedules at the granularity of *operation classes* (the
+//! same granularity SimpleScalar's `sim-outorder` uses): each class maps to
+//! one execution-unit class with a fixed latency and issue interval, both of
+//! which live in the simulator configuration so they can be varied per
+//! experiment.
+
+use std::fmt;
+
+/// Operation class of a dynamic instruction.
+///
+/// This is the granularity at which the out-of-order core schedules work and
+/// at which the paper's clock-gating decisions are taken: an issued
+/// instruction's class determines which execution unit it occupies in the
+/// execute stage, whether it touches a D-cache port in the memory stage and
+/// whether it drives a result bus at writeback.
+///
+/// # Example
+///
+/// ```
+/// use dcg_isa::{FuClass, OpClass};
+///
+/// assert_eq!(OpClass::Load.fu_class(), FuClass::MemPort);
+/// assert!(OpClass::FpMul.is_fp());
+/// assert!(!OpClass::Branch.writes_result());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Simple integer ALU operation (add, sub, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/sub/compare/convert.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Memory load (integer or FP destination).
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer (conditional branch, jump, call, return).
+    Branch,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order usable for table indexing.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+
+    /// Number of distinct operation classes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable dense index of this class (`0..COUNT`), for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::FpAlu => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 5,
+            OpClass::Load => 6,
+            OpClass::Store => 7,
+            OpClass::Branch => 8,
+        }
+    }
+
+    /// Reverse of [`OpClass::index`].
+    ///
+    /// Returns `None` if `index >= OpClass::COUNT`.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<OpClass> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// The execution-unit class instructions of this class occupy.
+    ///
+    /// Branches execute on the integer ALUs (as on the Alpha 21264);
+    /// loads and stores occupy a memory port (address generation uses the
+    /// port's dedicated AGU).
+    #[inline]
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            OpClass::IntAlu | OpClass::Branch => FuClass::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuClass::IntMulDiv,
+            OpClass::FpAlu => FuClass::FpAlu,
+            OpClass::FpMul | OpClass::FpDiv => FuClass::FpMulDiv,
+            OpClass::Load | OpClass::Store => FuClass::MemPort,
+        }
+    }
+
+    /// `true` for floating-point operation classes.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// `true` for memory operation classes.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// `true` if instructions of this class produce a register result and
+    /// therefore drive a result bus at writeback.
+    ///
+    /// Stores and branches produce no register value (the paper exploits
+    /// exactly this for its store-delay argument in §3.3).
+    #[inline]
+    pub fn writes_result(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::Branch)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAlu => "fp-alu",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Execution-unit class (Table 1 of the paper).
+///
+/// The baseline configuration provides 6 integer ALUs, 2 integer
+/// multiply/divide units, 4 FP ALUs, 4 FP multiply/divide units and 2 cache
+/// ports. DCG clock-gates individual *instances* of these classes based on
+/// the issue stage's GRANT signals (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuClass {
+    /// Integer ALU (also executes branches).
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// Floating-point ALU.
+    FpAlu,
+    /// Floating-point multiply/divide unit.
+    FpMulDiv,
+    /// Cache port (address generation + D-cache access).
+    MemPort,
+}
+
+impl FuClass {
+    /// All execution-unit classes, in a fixed order usable for indexing.
+    pub const ALL: [FuClass; 5] = [
+        FuClass::IntAlu,
+        FuClass::IntMulDiv,
+        FuClass::FpAlu,
+        FuClass::FpMulDiv,
+        FuClass::MemPort,
+    ];
+
+    /// Number of distinct execution-unit classes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable dense index of this class (`0..COUNT`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuClass::IntAlu => 0,
+            FuClass::IntMulDiv => 1,
+            FuClass::FpAlu => 2,
+            FuClass::FpMulDiv => 3,
+            FuClass::MemPort => 4,
+        }
+    }
+
+    /// Reverse of [`FuClass::index`].
+    ///
+    /// Returns `None` if `index >= FuClass::COUNT`.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<FuClass> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// `true` for the floating-point unit classes.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, FuClass::FpAlu | FuClass::FpMulDiv)
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMulDiv => "int-muldiv",
+            FuClass::FpAlu => "fp-alu",
+            FuClass::FpMulDiv => "fp-muldiv",
+            FuClass::MemPort => "mem-port",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_index_roundtrip() {
+        for (i, op) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(OpClass::from_index(i), Some(*op));
+        }
+        assert_eq!(OpClass::from_index(OpClass::COUNT), None);
+    }
+
+    #[test]
+    fn fu_class_index_roundtrip() {
+        for (i, fu) in FuClass::ALL.iter().enumerate() {
+            assert_eq!(fu.index(), i);
+            assert_eq!(FuClass::from_index(i), Some(*fu));
+        }
+        assert_eq!(FuClass::from_index(FuClass::COUNT), None);
+    }
+
+    #[test]
+    fn branches_execute_on_int_alu() {
+        assert_eq!(OpClass::Branch.fu_class(), FuClass::IntAlu);
+    }
+
+    #[test]
+    fn memory_ops_use_mem_port() {
+        assert_eq!(OpClass::Load.fu_class(), FuClass::MemPort);
+        assert_eq!(OpClass::Store.fu_class(), FuClass::MemPort);
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn fp_classification_is_consistent() {
+        for op in OpClass::ALL {
+            if op.is_fp() {
+                assert!(op.fu_class().is_fp(), "{op} should map to an FP unit");
+            } else {
+                assert!(!op.fu_class().is_fp(), "{op} should map to a non-FP unit");
+            }
+        }
+    }
+
+    #[test]
+    fn stores_and_branches_write_no_result() {
+        assert!(!OpClass::Store.writes_result());
+        assert!(!OpClass::Branch.writes_result());
+        assert!(OpClass::Load.writes_result());
+        assert!(OpClass::IntAlu.writes_result());
+        assert!(OpClass::FpDiv.writes_result());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            let s = op.to_string();
+            assert!(!s.is_empty());
+            assert!(seen.insert(s));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests: the binary trace encoding is exact for every well-formed
+//! instruction the generators can produce.
+
+use dcg_isa::{decode_word, encode_word, ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Option<ArchReg>> {
+    prop_oneof![Just(None), (0u8..64).prop_map(ArchReg::from_dense),]
+}
+
+fn arb_branch_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Jump),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+    ]
+}
+
+prop_compose! {
+    fn arb_inst()(
+        pc in any::<u64>(),
+        op_idx in 0usize..OpClass::COUNT,
+        dest in arb_reg(),
+        src0 in arb_reg(),
+        src1 in arb_reg(),
+        addr in any::<u64>(),
+        size_log2 in 0u32..4,
+        kind in arb_branch_kind(),
+        taken in any::<bool>(),
+        target in any::<u64>(),
+    ) -> Inst {
+        let op = OpClass::from_index(op_idx).expect("index in range");
+        let mem = op.is_mem().then(|| MemRef::new(addr, 1u8 << size_log2));
+        let branch = (op == OpClass::Branch).then(|| BranchInfo {
+            kind,
+            taken: taken || kind.is_unconditional(),
+            target,
+        });
+        Inst {
+            pc,
+            op,
+            dest: if op.writes_result() { dest } else { None },
+            srcs: [src0, src1],
+            mem,
+            branch,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        prop_assert!(inst.is_well_formed());
+        let words = encode_word(&inst);
+        prop_assert_eq!(decode_word(&words), Ok(inst));
+    }
+
+    #[test]
+    fn decode_never_panics(words in any::<[u64; 3]>()) {
+        // Arbitrary bit patterns must decode to either a well-formed
+        // instruction or a clean error, never panic.
+        if let Ok(inst) = decode_word(&words) { prop_assert!(inst.is_well_formed()) }
+    }
+}

@@ -1,0 +1,297 @@
+//! Circuit-level models of the paper's §2.1 (Figures 1 and 2): *why*
+//! clock gating saves energy in latches and dynamic-logic cells.
+//!
+//! These event-level cell models are not used on the simulator's fast path
+//! (the calibrated per-cycle energies in [`crate::EnergyTable`] are); they
+//! exist to *validate the abstraction*: the per-cycle constants assume a
+//! non-gated cell burns its clock-load energy every cycle and a gated cell
+//! burns none, and the tests here derive exactly that behaviour from
+//! C·V² accounting over explicit clock/evaluate events.
+
+use crate::tech::TechParams;
+
+/// A pipeline-latch cell (paper Figure 1).
+///
+/// `Cg` is the cumulative gate capacitance the clock drives. Every clock
+/// edge charges and discharges `Cg` whether or not the data input changed;
+/// ANDing the clock with a gate-control signal (Figure 1b) stops that.
+#[derive(Debug, Clone)]
+pub struct LatchCell {
+    cg_ff: f64,
+    data_cap_ff: f64,
+    state: bool,
+    energy_pj: f64,
+    cycles: u64,
+}
+
+impl LatchCell {
+    /// A latch with clock load `cg_ff` and internal data capacitance
+    /// `data_cap_ff` (switched only when the stored value changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a capacitance is non-finite or negative.
+    pub fn new(cg_ff: f64, data_cap_ff: f64) -> LatchCell {
+        assert!(
+            cg_ff.is_finite() && cg_ff >= 0.0 && data_cap_ff.is_finite() && data_cap_ff >= 0.0,
+            "capacitances must be finite and non-negative"
+        );
+        LatchCell {
+            cg_ff,
+            data_cap_ff,
+            state: false,
+            energy_pj: 0.0,
+            cycles: 0,
+        }
+    }
+
+    /// One clocked cycle: the clock charges/discharges `Cg`; the data
+    /// capacitance switches only if `input` differs from the stored state.
+    pub fn clock(&mut self, tech: &TechParams, input: bool) {
+        self.cycles += 1;
+        self.energy_pj += tech.switch_energy_pj(self.cg_ff);
+        if input != self.state {
+            self.energy_pj += tech.switch_energy_pj(self.data_cap_ff);
+            self.state = input;
+        }
+    }
+
+    /// One clock-gated cycle (Figure 1b, `Clk-gate` low): `Cg` never
+    /// charges, the state is held, no energy is consumed. The paper's
+    /// accounting rule (§4.2) follows directly.
+    pub fn clock_gated(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Stored value.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Total energy consumed, pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Cycles elapsed (clocked + gated).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+/// A footed dynamic-logic cell (paper Figure 2): precharge PMOS, pull-down
+/// network ("PDN"), clock load `Cg`, output load `CL`.
+#[derive(Debug, Clone)]
+pub struct DynamicLogicCell {
+    cg_ff: f64,
+    cl_ff: f64,
+    /// `true` when `CL` holds charge (output node high).
+    output_high: bool,
+    energy_pj: f64,
+    cycles: u64,
+}
+
+impl DynamicLogicCell {
+    /// A cell with clock load `cg_ff` and output load `cl_ff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a capacitance is non-finite or negative.
+    pub fn new(cg_ff: f64, cl_ff: f64) -> DynamicLogicCell {
+        assert!(
+            cg_ff.is_finite() && cg_ff >= 0.0 && cl_ff.is_finite() && cl_ff >= 0.0,
+            "capacitances must be finite and non-negative"
+        );
+        DynamicLogicCell {
+            cg_ff,
+            cl_ff,
+            output_high: true,
+            energy_pj: 0.0,
+            cycles: 0,
+        }
+    }
+
+    /// One non-gated cycle: precharge phase then evaluate phase with
+    /// `pdn_conducts` (the pull-down network's input condition).
+    ///
+    /// The paper's two cases (§2.1):
+    ///
+    /// 1. `CL` held "1" and evaluates to "1" again → no `CL` energy
+    ///    (precharging an already-charged node is free without leakage);
+    /// 2. `CL` held "0" at the end of the previous cycle → the precharge
+    ///    transistor must recharge it, paying `CL·V²`, *irrespective of
+    ///    the next inputs*.
+    ///
+    /// `Cg` always pays: the clock toggles the precharge/foot transistors
+    /// every cycle.
+    pub fn clock(&mut self, tech: &TechParams, pdn_conducts: bool) {
+        self.cycles += 1;
+        self.energy_pj += tech.switch_energy_pj(self.cg_ff);
+        if !self.output_high {
+            // Case 2: precharge from "0".
+            self.energy_pj += tech.switch_energy_pj(self.cl_ff);
+            self.output_high = true;
+        }
+        // Evaluate: discharge CL if the PDN conducts (the discharge path
+        // dissipates the energy already banked at charge time, so no new
+        // rail energy is drawn here).
+        if pdn_conducts {
+            self.output_high = false;
+        }
+    }
+
+    /// One clock-gated cycle: no precharge, no evaluate, no energy; the
+    /// output node keeps its charge state.
+    pub fn clock_gated(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// `true` if the output node currently holds charge.
+    pub fn output_high(&self) -> bool {
+        self.output_high
+    }
+
+    /// Total energy consumed, pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Cycles elapsed (clocked + gated).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechParams {
+        TechParams::micron180()
+    }
+
+    #[test]
+    fn ungated_latch_burns_clock_energy_even_with_stable_input() {
+        // Paper §2.1: "Even if the inputs do not change from one clock to
+        // the next, the latch still consumes clock power."
+        let mut latch = LatchCell::new(30.0, 10.0);
+        let t = tech();
+        latch.clock(&t, true); // data flip: Cg + data
+        let after_first = latch.energy_pj();
+        for _ in 0..9 {
+            latch.clock(&t, true); // stable data: Cg only
+        }
+        let per_stable_cycle = (latch.energy_pj() - after_first) / 9.0;
+        assert!((per_stable_cycle - t.switch_energy_pj(30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gated_latch_consumes_nothing_and_holds_state() {
+        let mut latch = LatchCell::new(30.0, 10.0);
+        let t = tech();
+        latch.clock(&t, true);
+        let e = latch.energy_pj();
+        for _ in 0..100 {
+            latch.clock_gated();
+        }
+        assert_eq!(latch.energy_pj(), e, "gated cycles are free (no leakage)");
+        assert!(latch.state(), "state is held through gating");
+        assert_eq!(latch.cycles(), 101);
+    }
+
+    #[test]
+    fn net_saving_requires_small_and_gate() {
+        // Figure 1b's argument: gating pays an AND gate (~1 gate cap) to
+        // save Cg (~tens of fF) per idle cycle — net positive because
+        // Cg >> C_and.
+        let t = tech();
+        let cg = 30.0;
+        let c_and = 2.0 * t.gate_cap_ff;
+        assert!(
+            t.switch_energy_pj(cg) > 5.0 * t.switch_energy_pj(c_and),
+            "the clock load must dwarf the gating AND"
+        );
+    }
+
+    #[test]
+    fn dynamic_cell_case1_no_cl_energy() {
+        // CL holds "1" and keeps evaluating to "1": only Cg pays.
+        let t = tech();
+        let mut cell = DynamicLogicCell::new(8.0, 50.0);
+        for _ in 0..10 {
+            cell.clock(&t, false); // PDN never conducts -> output stays high
+        }
+        assert!((cell.energy_pj() - 10.0 * t.switch_energy_pj(8.0)).abs() < 1e-9);
+        assert!(cell.output_high());
+    }
+
+    #[test]
+    fn dynamic_cell_case2_precharge_every_cycle() {
+        // CL discharges every evaluate: every next precharge pays CL·V²
+        // "irrespective of what the inputs are in the next cycle".
+        let t = tech();
+        let mut cell = DynamicLogicCell::new(8.0, 50.0);
+        for _ in 0..10 {
+            cell.clock(&t, true); // discharge every cycle
+        }
+        // 10 × Cg, and 9 precharges from "0" (the first cycle started high).
+        let expect = 10.0 * t.switch_energy_pj(8.0) + 9.0 * t.switch_energy_pj(50.0);
+        assert!((cell.energy_pj() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gating_a_dynamic_cell_freezes_energy_and_charge() {
+        let t = tech();
+        let mut cell = DynamicLogicCell::new(8.0, 50.0);
+        cell.clock(&t, true); // leaves CL discharged
+        let e = cell.energy_pj();
+        for _ in 0..50 {
+            cell.clock_gated();
+        }
+        assert_eq!(cell.energy_pj(), e);
+        assert!(!cell.output_high(), "charge state frozen while gated");
+        // When re-enabled the deferred precharge is paid once.
+        cell.clock(&t, false);
+        let expect = e + t.switch_energy_pj(8.0) + t.switch_energy_pj(50.0);
+        assert!((cell.energy_pj() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abstraction_check_gated_fraction_scales_energy_linearly() {
+        // The fast-path model charges (1 - gated_fraction) of the per-cycle
+        // energy; derive the same from the cell model for a random-ish
+        // usage pattern.
+        let t = tech();
+        let mut always_on = DynamicLogicCell::new(8.0, 50.0);
+        let mut gated = DynamicLogicCell::new(8.0, 50.0);
+        let mut used_cycles = 0u32;
+        for k in 0..1000u32 {
+            let used = k.wrapping_mul(2654435761) >> 30 == 0; // ~25 % usage
+            always_on.clock(&t, used);
+            if used {
+                gated.clock(&t, true);
+                used_cycles += 1;
+            } else {
+                gated.clock_gated();
+            }
+        }
+        assert!(used_cycles > 100 && used_cycles < 500);
+        // Both cells pay one CL precharge per use (the gated cell defers
+        // it to its next enabled cycle); the difference is exactly the
+        // idle cycles' clock-load energy — the quantity the fast-path
+        // model charges to non-gated blocks.
+        let idle = 1000.0 - f64::from(used_cycles);
+        let expect_gap = idle * t.switch_energy_pj(8.0);
+        let gap = always_on.energy_pj() - gated.energy_pj();
+        assert!(
+            (gap - expect_gap).abs() <= t.switch_energy_pj(50.0) + 1e-9,
+            "gap {gap:.3} vs expected {expect_gap:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_bad_capacitance() {
+        let _ = LatchCell::new(f64::NAN, 1.0);
+    }
+}

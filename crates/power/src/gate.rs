@@ -1,0 +1,189 @@
+//! The gate-state interface between clock-gating policies and the power
+//! model.
+//!
+//! A policy (DCG, PLB, or none) produces one [`GateState`] per cycle saying
+//! which gateable blocks receive their clock. The power model charges
+//! energy only to powered blocks, per the paper's accounting (§4.2):
+//! *"the circuit's power is added if the circuit is not clock-gated; if the
+//! circuit is clock-gated in a cycle, zero power is added"*.
+
+use dcg_isa::FuClass;
+use dcg_sim::{LatchGroups, SimConfig};
+
+/// Which blocks receive their clock in one cycle.
+///
+/// # Example
+///
+/// ```
+/// use dcg_isa::FuClass;
+/// use dcg_power::GateState;
+/// use dcg_sim::{LatchGroups, SimConfig};
+///
+/// let cfg = SimConfig::baseline_8wide();
+/// let groups = LatchGroups::new(&cfg.depth);
+/// let mut gate = GateState::ungated(&cfg, &groups);
+/// // Gate five of the six integer ALUs.
+/// gate.fu_powered[FuClass::IntAlu.index()] = 0b1;
+/// assert_eq!(gate.fu_powered_count(FuClass::IntAlu), 1);
+/// gate.validate(&cfg, &groups).expect("still well-formed");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateState {
+    /// Powered (non-gated) execution-unit instances per class, as
+    /// bitmasks indexed by [`FuClass::index`].
+    pub fu_powered: [u32; FuClass::COUNT],
+    /// Per latch group: `None` = ungated (all slots clocked); `Some(n)` =
+    /// only `n` slots clocked.
+    pub latch_slots: Vec<Option<u32>>,
+    /// Powered D-cache wordline decoders (bitmask over ports).
+    pub dcache_ports_powered: u32,
+    /// Powered result-bus drivers (count).
+    pub result_buses_powered: u32,
+    /// Issue-queue power scale (1.0 = full; PLB's low-power modes gate a
+    /// fraction of the queue).
+    pub issue_queue_scale: f64,
+    /// Extra control-state bits the gating policy clocks every cycle
+    /// (DCG's extended latches; 0 for the baseline).
+    pub control_bits: u32,
+}
+
+impl GateState {
+    /// Everything powered: the paper's base case (no clock gating at all).
+    pub fn ungated(config: &SimConfig, groups: &LatchGroups) -> GateState {
+        let mut fu_powered = [0u32; FuClass::COUNT];
+        for c in FuClass::ALL {
+            fu_powered[c.index()] = mask_of(config.fu_count(c));
+        }
+        GateState {
+            fu_powered,
+            latch_slots: vec![None; groups.len()],
+            dcache_ports_powered: mask_of(config.mem_ports),
+            result_buses_powered: config.result_buses as u32,
+            issue_queue_scale: 1.0,
+            control_bits: 0,
+        }
+    }
+
+    /// Number of powered instances of `class`.
+    pub fn fu_powered_count(&self, class: FuClass) -> u32 {
+        self.fu_powered[class.index()].count_ones()
+    }
+
+    /// Validate against a configuration and latch geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (wrong group
+    /// count, out-of-range masks or scales).
+    pub fn validate(&self, config: &SimConfig, groups: &LatchGroups) -> Result<(), String> {
+        if self.latch_slots.len() != groups.len() {
+            return Err(format!(
+                "latch_slots has {} entries, geometry has {}",
+                self.latch_slots.len(),
+                groups.len()
+            ));
+        }
+        for c in FuClass::ALL {
+            let mask = self.fu_powered[c.index()];
+            if mask & !mask_of(config.fu_count(c)) != 0 {
+                return Err(format!("fu_powered[{c}] addresses absent instances"));
+            }
+        }
+        if self.dcache_ports_powered & !mask_of(config.mem_ports) != 0 {
+            return Err("dcache_ports_powered addresses absent ports".into());
+        }
+        if self.result_buses_powered > config.result_buses as u32 {
+            return Err("result_buses_powered exceeds bus count".into());
+        }
+        if !(0.0..=1.0).contains(&self.issue_queue_scale) {
+            return Err(format!(
+                "issue_queue_scale must be in [0,1], got {}",
+                self.issue_queue_scale
+            ));
+        }
+        // Note: `Some(n)` is allowed on any group, not only DCG-gateable
+        // ones — PLB's window-granularity modes narrow every stage's
+        // latches (paper §4.3). The `gated` flag on a group marks DCG's
+        // *deterministic* gateability, which the DCG policy respects.
+        for (i, slots) in self.latch_slots.iter().enumerate() {
+            if let Some(n) = slots {
+                if *n > config.issue_width as u32 {
+                    return Err(format!("group {i} slots {n} exceed the machine width"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bitmask with the low `n` bits set.
+pub(crate) fn mask_of(n: usize) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcg_sim::PipelineDepth;
+
+    fn setup() -> (SimConfig, LatchGroups) {
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&PipelineDepth::stages8());
+        (cfg, groups)
+    }
+
+    #[test]
+    fn ungated_is_fully_powered_and_valid() {
+        let (cfg, groups) = setup();
+        let g = GateState::ungated(&cfg, &groups);
+        g.validate(&cfg, &groups).expect("valid");
+        assert_eq!(g.fu_powered_count(FuClass::IntAlu), 6);
+        assert_eq!(g.fu_powered_count(FuClass::MemPort), 2);
+        assert_eq!(g.result_buses_powered, 8);
+        assert!(g.latch_slots.iter().all(|s| s.is_none()));
+        assert_eq!(g.control_bits, 0);
+    }
+
+    #[test]
+    fn validation_catches_foreign_instances() {
+        let (cfg, groups) = setup();
+        let mut g = GateState::ungated(&cfg, &groups);
+        g.fu_powered[FuClass::IntAlu.index()] = 0x7f; // 7 ALUs, only 6 exist
+        assert!(g.validate(&cfg, &groups).is_err());
+    }
+
+    #[test]
+    fn any_group_may_be_narrowed_but_not_widened() {
+        let (cfg, groups) = setup();
+        let mut g = GateState::ungated(&cfg, &groups);
+        // PLB narrows even the fetch latch (group 0) in low-power modes.
+        g.latch_slots[0] = Some(6);
+        g.validate(&cfg, &groups).expect("narrowing is legal");
+        g.latch_slots[0] = Some(9);
+        assert!(g.validate(&cfg, &groups).is_err(), "wider than the machine");
+    }
+
+    #[test]
+    fn validation_catches_bad_scale_and_buses() {
+        let (cfg, groups) = setup();
+        let mut g = GateState::ungated(&cfg, &groups);
+        g.issue_queue_scale = 1.5;
+        assert!(g.validate(&cfg, &groups).is_err());
+
+        let mut g = GateState::ungated(&cfg, &groups);
+        g.result_buses_powered = 9;
+        assert!(g.validate(&cfg, &groups).is_err());
+    }
+
+    #[test]
+    fn mask_of_behaviour() {
+        assert_eq!(mask_of(0), 0);
+        assert_eq!(mask_of(2), 0b11);
+        assert_eq!(mask_of(6), 0b11_1111);
+        assert_eq!(mask_of(32), u32::MAX);
+    }
+}

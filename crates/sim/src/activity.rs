@@ -1,0 +1,416 @@
+//! Per-cycle activity records and pipeline-latch geometry.
+//!
+//! [`CycleActivity`] is the contract between the simulator, the power model
+//! and the clock-gating policies:
+//!
+//! * **usage counts** say what actually happened this cycle (for energy
+//!   accounting and for verifying that a gating policy never gated a used
+//!   block);
+//! * **advance-knowledge signals** say what is *deterministically known* at
+//!   the end of this cycle about near-future cycles (issue GRANTs, the
+//!   one-hot issued-slot count, scheduled stores, booked result buses) —
+//!   exactly the signals the paper's DCG controller taps (§3).
+
+use dcg_isa::FuClass;
+
+use crate::config::PipelineDepth;
+
+/// Where a latch group's occupancy (and DCG gate control) comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowSource {
+    /// Instructions fetched per cycle (front-end flow).
+    Fetched,
+    /// Instructions traversing rename per cycle (known from decode one
+    /// cycle earlier — paper §2.2.1).
+    Renamed,
+    /// Instructions issued per cycle (the one-hot encoding of §3.2).
+    Issued,
+}
+
+/// One pipeline-latch group (the latch bank at the end of one stage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatchGroupSpec {
+    /// Stage name, e.g. `"regread0"`.
+    pub name: String,
+    /// Which flow's count gives this group's occupancy.
+    pub source: FlowSource,
+    /// Occupancy at cycle `X` equals the source flow at `X - delay`.
+    pub delay: u32,
+    /// `true` if DCG can gate this group (paper Figure 3 tick marks:
+    /// rename and all post-issue latches; fetch/decode/issue cannot be
+    /// gated).
+    pub gated: bool,
+}
+
+/// The ordered set of latch groups implied by a pipeline geometry.
+///
+/// # Example
+///
+/// ```
+/// use dcg_sim::{LatchGroups, PipelineDepth};
+///
+/// let groups = LatchGroups::new(&PipelineDepth::stages8());
+/// assert_eq!(groups.len(), 8);
+/// // Paper Figure 3: rename + the four post-issue stages are gateable.
+/// assert_eq!(groups.gated_count(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatchGroups {
+    specs: Vec<LatchGroupSpec>,
+}
+
+impl LatchGroups {
+    /// Derive the latch groups for `depth`.
+    ///
+    /// For the paper's 8-stage pipeline this yields 8 groups of which 5 are
+    /// gateable (rename, regread, execute, memory, writeback).
+    pub fn new(depth: &PipelineDepth) -> LatchGroups {
+        let mut specs = Vec::with_capacity(depth.total());
+        for i in 0..depth.fetch {
+            specs.push(LatchGroupSpec {
+                name: format!("fetch{i}"),
+                source: FlowSource::Fetched,
+                delay: i as u32,
+                gated: false,
+            });
+        }
+        for i in 0..depth.decode {
+            specs.push(LatchGroupSpec {
+                name: format!("decode{i}"),
+                source: FlowSource::Fetched,
+                delay: (depth.fetch + i) as u32,
+                gated: false,
+            });
+        }
+        for i in 0..depth.rename {
+            specs.push(LatchGroupSpec {
+                name: format!("rename{i}"),
+                source: FlowSource::Renamed,
+                delay: i as u32,
+                gated: true,
+            });
+        }
+        for i in 0..depth.issue {
+            specs.push(LatchGroupSpec {
+                name: format!("issue{i}"),
+                source: FlowSource::Issued,
+                delay: 0,
+                gated: false,
+            });
+        }
+        let mut back_delay = 1u32;
+        for (stage, count) in [
+            ("regread", depth.regread),
+            ("execute", depth.execute),
+            ("mem", depth.mem),
+            ("writeback", depth.writeback),
+        ] {
+            for i in 0..count {
+                specs.push(LatchGroupSpec {
+                    name: format!("{stage}{i}"),
+                    source: FlowSource::Issued,
+                    delay: back_delay,
+                    gated: true,
+                });
+                back_delay += 1;
+            }
+        }
+        LatchGroups { specs }
+    }
+
+    /// The group specifications, in pipeline order.
+    pub fn specs(&self) -> &[LatchGroupSpec] {
+        &self.specs
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` if there are no groups (never happens for valid geometries).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of gateable groups.
+    pub fn gated_count(&self) -> usize {
+        self.specs.iter().filter(|s| s.gated).count()
+    }
+
+    /// Maximum delay used by any group (history depth requirement).
+    pub fn max_delay(&self) -> u32 {
+        self.specs.iter().map(|s| s.delay).max().unwrap_or(0)
+    }
+
+    /// Compute per-group occupancy from a flow history.
+    pub fn occupancies(&self, history: &FlowHistory, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.specs.iter().map(|s| history.get(s.source, s.delay)));
+    }
+}
+
+/// Ring-buffer history of the three per-cycle flows that determine latch
+/// occupancy.
+#[derive(Debug, Clone)]
+pub struct FlowHistory {
+    fetched: [u32; Self::DEPTH],
+    renamed: [u32; Self::DEPTH],
+    issued: [u32; Self::DEPTH],
+    pos: usize,
+}
+
+impl FlowHistory {
+    /// History depth in cycles; comfortably exceeds any latch delay.
+    pub const DEPTH: usize = 32;
+
+    /// A history with all flows zero.
+    pub fn new() -> FlowHistory {
+        FlowHistory {
+            fetched: [0; Self::DEPTH],
+            renamed: [0; Self::DEPTH],
+            issued: [0; Self::DEPTH],
+            pos: 0,
+        }
+    }
+
+    /// Record this cycle's flows (call once per cycle).
+    pub fn record(&mut self, fetched: u32, renamed: u32, issued: u32) {
+        self.pos = (self.pos + 1) % Self::DEPTH;
+        self.fetched[self.pos] = fetched;
+        self.renamed[self.pos] = renamed;
+        self.issued[self.pos] = issued;
+    }
+
+    /// Flow value `delay` cycles ago (0 = the cycle just recorded).
+    pub fn get(&self, source: FlowSource, delay: u32) -> u32 {
+        let d = delay as usize % Self::DEPTH;
+        let idx = (self.pos + Self::DEPTH - d) % Self::DEPTH;
+        match source {
+            FlowSource::Fetched => self.fetched[idx],
+            FlowSource::Renamed => self.renamed[idx],
+            FlowSource::Issued => self.issued[idx],
+        }
+    }
+}
+
+impl Default for FlowHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One issue-stage GRANT: the selection logic matched an instruction to an
+/// execution-unit instance (paper Figure 4), fixing that instance's future
+/// activity deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuGrant {
+    /// Unit class granted.
+    pub class: FuClass,
+    /// Instance within the class.
+    pub instance: usize,
+    /// Cycles from now until the instance becomes active (2 for the
+    /// 8-stage pipeline's execute stage; 3 for a load's D-cache access).
+    pub exec_start: u32,
+    /// Cycles the instance stays active (op latency; 1 for cache ports).
+    pub active_len: u32,
+}
+
+/// Everything that happened in (and is deterministically known at the end
+/// of) one simulated cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CycleActivity {
+    /// Cycle number.
+    pub cycle: u64,
+    // ---- flows ----
+    /// Instructions fetched.
+    pub fetched: u32,
+    /// Instructions entering rename.
+    pub renamed: u32,
+    /// Instructions dispatched into the window.
+    pub dispatched: u32,
+    /// Instructions issued (selected).
+    pub issued: u32,
+    /// Issued floating-point operations.
+    pub issued_fp: u32,
+    /// Issued loads.
+    pub issued_loads: u32,
+    /// Issued stores.
+    pub issued_stores: u32,
+    /// Instructions committed.
+    pub committed: u32,
+    // ---- usage (this cycle) ----
+    /// Busy mask per unit class (bit *i* = instance *i* active), indexed by
+    /// [`FuClass::index`].
+    pub fu_active: [u32; FuClass::COUNT],
+    /// D-cache port mask in use this cycle (wordline decoders firing).
+    pub dcache_port_mask: u32,
+    /// Loads accessing the D-cache this cycle.
+    pub dcache_load_accesses: u32,
+    /// Stores accessing the D-cache this cycle.
+    pub dcache_store_accesses: u32,
+    /// D-cache accesses that missed (this cycle's accesses).
+    pub dcache_misses: u32,
+    /// L2 accesses initiated this cycle.
+    pub l2_accesses: u32,
+    /// I-cache probed this cycle.
+    pub icache_access: bool,
+    /// The I-cache probe missed.
+    pub icache_miss: bool,
+    /// Branch-predictor lookups.
+    pub bpred_lookups: u32,
+    /// Register-file read ports used (issued source operands).
+    pub regfile_reads: u32,
+    /// Register-file write ports used (writebacks).
+    pub regfile_writes: u32,
+    /// Result buses driven this cycle.
+    pub result_bus_used: u32,
+    /// Per-latch-group slots written this cycle (indexed like
+    /// [`LatchGroups::specs`]).
+    pub latch_occupancy: Vec<u32>,
+    // ---- advance knowledge (known at end of this cycle) ----
+    /// Issue-stage grants made this cycle (future unit activity).
+    pub grants: Vec<FuGrant>,
+    /// Instructions sitting at the end of decode that will traverse rename
+    /// next cycle (paper §2.2.1: the rename latch's gate control is known
+    /// from the decode stage one cycle ahead). The actual rename flow next
+    /// cycle is at most this (zero if rename stalls).
+    pub decode_ready_next: u32,
+    /// Issue-queue entries occupied at the end of this cycle. Entries
+    /// beyond `iq_occupancy + dispatch width` are deterministically empty
+    /// next cycle — the signal behind the deterministic issue-queue gating
+    /// of \[6\], which the paper cites in §2.2.2.
+    pub iq_occupancy: u32,
+    /// Store D-cache accesses already scheduled for the *next* cycle
+    /// (paper §3.3 advance knowledge), as (port, count) mask.
+    pub store_ports_next: u32,
+    /// Result buses already booked for cycle `cycle + 2` (paper §3.4:
+    /// writeback usage is known two cycles ahead).
+    pub result_bus_in_2: u32,
+}
+
+impl CycleActivity {
+    /// Reset all fields for reuse (keeps allocations).
+    pub fn reset(&mut self, cycle: u64) {
+        let mut grants = std::mem::take(&mut self.grants);
+        let mut latches = std::mem::take(&mut self.latch_occupancy);
+        grants.clear();
+        latches.clear();
+        *self = CycleActivity {
+            cycle,
+            latch_occupancy: latches,
+            grants,
+            ..CycleActivity::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_stage_groups_match_paper_figure_3() {
+        let g = LatchGroups::new(&PipelineDepth::stages8());
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.gated_count(), 5, "rename + rf/ex/mem/wb are gateable");
+        let names: Vec<&str> = g.specs().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fetch0",
+                "decode0",
+                "rename0",
+                "issue0",
+                "regread0",
+                "execute0",
+                "mem0",
+                "writeback0"
+            ]
+        );
+        // Fetch/decode/issue latches cannot be gated (paper §2.2.1).
+        for s in g.specs() {
+            let front = s.name.starts_with("fetch")
+                || s.name.starts_with("decode")
+                || s.name.starts_with("issue");
+            assert_eq!(s.gated, !front, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn twenty_stage_groups_keep_gateable_majority() {
+        let g = LatchGroups::new(&PipelineDepth::stages20());
+        assert_eq!(g.len(), 20);
+        assert_eq!(g.gated_count(), 12);
+        assert!(g.max_delay() < FlowHistory::DEPTH as u32);
+    }
+
+    #[test]
+    fn backend_delays_are_consecutive() {
+        let g = LatchGroups::new(&PipelineDepth::stages8());
+        let backend: Vec<u32> = g
+            .specs()
+            .iter()
+            .filter(|s| s.source == FlowSource::Issued && s.gated)
+            .map(|s| s.delay)
+            .collect();
+        assert_eq!(backend, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn flow_history_lookup() {
+        let mut h = FlowHistory::new();
+        h.record(8, 6, 4); // cycle 0
+        h.record(7, 5, 3); // cycle 1
+        assert_eq!(h.get(FlowSource::Fetched, 0), 7);
+        assert_eq!(h.get(FlowSource::Fetched, 1), 8);
+        assert_eq!(h.get(FlowSource::Renamed, 0), 5);
+        assert_eq!(h.get(FlowSource::Issued, 1), 4);
+        assert_eq!(h.get(FlowSource::Issued, 5), 0, "pre-history is zero");
+    }
+
+    #[test]
+    fn occupancies_follow_delays() {
+        let groups = LatchGroups::new(&PipelineDepth::stages8());
+        let mut h = FlowHistory::new();
+        // One burst of 8 issued at cycle 0, nothing after.
+        h.record(8, 8, 8);
+        let mut occ = Vec::new();
+        for expect_stage in ["issue0", "regread0", "execute0", "mem0", "writeback0"] {
+            groups.occupancies(&h, &mut occ);
+            let idx = groups
+                .specs()
+                .iter()
+                .position(|s| s.name == expect_stage)
+                .unwrap();
+            assert_eq!(
+                occ[idx], 8,
+                "burst should be at {expect_stage} now: {occ:?}"
+            );
+            h.record(0, 0, 0);
+        }
+        // Burst has drained past writeback.
+        groups.occupancies(&h, &mut occ);
+        assert!(occ[4..].iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn activity_reset_clears() {
+        let mut a = CycleActivity {
+            issued: 5,
+            ..CycleActivity::default()
+        };
+        a.grants.push(FuGrant {
+            class: FuClass::IntAlu,
+            instance: 0,
+            exec_start: 2,
+            active_len: 1,
+        });
+        a.latch_occupancy.push(3);
+        a.reset(42);
+        assert_eq!(a.cycle, 42);
+        assert_eq!(a.issued, 0);
+        assert!(a.grants.is_empty());
+        assert!(a.latch_occupancy.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Ergonomic, validating construction of [`SimConfig`] variants.
+//!
+//! Experiments tweak a handful of knobs off the Table-1 baseline; the
+//! builder makes those one-liners and funnels every variant through
+//! [`SimConfig::validate`] so a bad sweep point fails at construction, not
+//! ten thousand cycles into a simulation.
+
+use crate::config::{PipelineDepth, PredictorKind, SimConfig, StoreTiming};
+
+/// Builder for [`SimConfig`], seeded from the Table-1 baseline.
+///
+/// # Example
+///
+/// ```
+/// use dcg_sim::{SimConfig, StoreTiming};
+///
+/// # fn main() -> Result<(), String> {
+/// let cfg = SimConfig::builder()
+///     .int_alus(4)
+///     .issue_width(8)
+///     .store_timing(StoreTiming::DelayOneCycle)
+///     .build()?;
+/// assert_eq!(cfg.int_alus, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Start from the Table-1 baseline.
+    pub fn new() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::baseline_8wide(),
+        }
+    }
+
+    /// Fetch, issue and commit widths together (a "machine width").
+    pub fn width(mut self, w: usize) -> SimConfigBuilder {
+        self.config.fetch_width = w;
+        self.config.issue_width = w;
+        self.config.commit_width = w;
+        self.config.result_buses = w;
+        self
+    }
+
+    /// Issue width alone.
+    pub fn issue_width(mut self, w: usize) -> SimConfigBuilder {
+        self.config.issue_width = w;
+        self
+    }
+
+    /// Reorder-buffer (window) entries.
+    pub fn rob_entries(mut self, n: usize) -> SimConfigBuilder {
+        self.config.rob_entries = n;
+        self
+    }
+
+    /// Issue-queue entries.
+    pub fn iq_entries(mut self, n: usize) -> SimConfigBuilder {
+        self.config.iq_entries = n;
+        self
+    }
+
+    /// Load/store-queue entries.
+    pub fn lsq_entries(mut self, n: usize) -> SimConfigBuilder {
+        self.config.lsq_entries = n;
+        self
+    }
+
+    /// Integer ALU count (§4.4 sweep knob).
+    pub fn int_alus(mut self, n: usize) -> SimConfigBuilder {
+        self.config.int_alus = n;
+        self
+    }
+
+    /// FP ALU count.
+    pub fn fp_alus(mut self, n: usize) -> SimConfigBuilder {
+        self.config.fp_alus = n;
+        self
+    }
+
+    /// D-cache port count.
+    pub fn mem_ports(mut self, n: usize) -> SimConfigBuilder {
+        self.config.mem_ports = n;
+        self
+    }
+
+    /// Pipeline geometry (8- or 20-stage, or custom).
+    pub fn depth(mut self, depth: PipelineDepth) -> SimConfigBuilder {
+        self.config.depth = depth;
+        self
+    }
+
+    /// Main-memory latency in cycles.
+    pub fn mem_latency(mut self, cycles: u32) -> SimConfigBuilder {
+        self.config.mem_latency = cycles;
+        self
+    }
+
+    /// Store commit timing (paper §3.3).
+    pub fn store_timing(mut self, timing: StoreTiming) -> SimConfigBuilder {
+        self.config.store_timing = timing;
+        self
+    }
+
+    /// Direction-predictor organisation.
+    pub fn predictor(mut self, kind: PredictorKind) -> SimConfigBuilder {
+        self.config.bpred.kind = kind;
+        self
+    }
+
+    /// Next-line D-cache prefetcher (extension knob).
+    pub fn dcache_prefetch(mut self, enabled: bool) -> SimConfigBuilder {
+        self.config.dcache_next_line_prefetch = enabled;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint (see
+    /// [`SimConfig::validate`]).
+    pub fn build(self) -> Result<SimConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimConfig {
+    /// Start building a variant of the Table-1 baseline.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_is_the_baseline() {
+        let built = SimConfig::builder().build().expect("valid");
+        assert_eq!(built, SimConfig::baseline_8wide());
+    }
+
+    #[test]
+    fn knobs_apply() {
+        let cfg = SimConfig::builder()
+            .width(4)
+            .rob_entries(64)
+            .iq_entries(64)
+            .lsq_entries(32)
+            .int_alus(3)
+            .fp_alus(2)
+            .mem_ports(1)
+            .mem_latency(200)
+            .predictor(PredictorKind::Bimodal)
+            .dcache_prefetch(true)
+            .depth(PipelineDepth::stages20())
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.issue_width, 4);
+        assert_eq!(cfg.result_buses, 4);
+        assert_eq!(cfg.int_alus, 3);
+        assert_eq!(cfg.mem_ports, 1);
+        assert_eq!(cfg.mem_latency, 200);
+        assert_eq!(cfg.bpred.kind, PredictorKind::Bimodal);
+        assert!(cfg.dcache_next_line_prefetch);
+        assert_eq!(cfg.depth.total(), 20);
+    }
+
+    #[test]
+    fn invalid_combinations_fail_at_build() {
+        assert!(SimConfig::builder().int_alus(0).build().is_err());
+        assert!(SimConfig::builder().issue_width(0).build().is_err());
+        assert!(SimConfig::builder().rob_entries(2).build().is_err());
+    }
+}

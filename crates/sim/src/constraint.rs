@@ -1,0 +1,153 @@
+//! Dynamic resource constraints.
+//!
+//! DCG never restricts resources (it only gates clocks to blocks that are
+//! already idle), but the PLB baseline *does*: its low-power modes narrow
+//! the effective issue width and disable execution-unit instances (paper
+//! §4.3). The simulator re-reads its [`ResourceConstraints`] every cycle so
+//! a policy can switch modes at window boundaries.
+
+use dcg_isa::FuClass;
+
+use crate::config::SimConfig;
+
+/// Per-cycle resource limits applied by a power-management policy.
+///
+/// # Example
+///
+/// ```
+/// use dcg_isa::FuClass;
+/// use dcg_sim::{ResourceConstraints, SimConfig};
+///
+/// let cfg = SimConfig::baseline_8wide();
+/// // PLB's 4-wide mode (paper §4.3).
+/// let wide4 = ResourceConstraints::unrestricted(&cfg)
+///     .with_issue_width(4)
+///     .with_fetch_width(4)
+///     .with_enabled(FuClass::IntAlu, 3);
+/// assert!(wide4.validate(&cfg).is_ok());
+/// assert_eq!(wide4.enabled(FuClass::IntAlu), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceConstraints {
+    /// Maximum instructions selected per cycle (≤ the configured width).
+    pub issue_width: usize,
+    /// Maximum instructions fetched per cycle (≤ the configured width).
+    /// PLB's low-power modes narrow the whole machine, front end included.
+    pub fetch_width: usize,
+    /// Enabled instance count per unit class (instances
+    /// `enabled..count` are disabled), indexed by [`FuClass::index`].
+    pub fu_enabled: [usize; FuClass::COUNT],
+}
+
+impl ResourceConstraints {
+    /// No restrictions: the full configured machine.
+    pub fn unrestricted(config: &SimConfig) -> ResourceConstraints {
+        let mut fu_enabled = [0usize; FuClass::COUNT];
+        for c in FuClass::ALL {
+            fu_enabled[c.index()] = config.fu_count(c);
+        }
+        ResourceConstraints {
+            issue_width: config.issue_width,
+            fetch_width: config.fetch_width,
+            fu_enabled,
+        }
+    }
+
+    /// Enabled instances of `class`.
+    pub fn enabled(&self, class: FuClass) -> usize {
+        self.fu_enabled[class.index()]
+    }
+
+    /// Builder-style: set the enabled instance count for `class`.
+    pub fn with_enabled(mut self, class: FuClass, n: usize) -> ResourceConstraints {
+        self.fu_enabled[class.index()] = n;
+        self
+    }
+
+    /// Builder-style: set the issue-width limit.
+    pub fn with_issue_width(mut self, width: usize) -> ResourceConstraints {
+        self.issue_width = width;
+        self
+    }
+
+    /// Builder-style: set the fetch-width limit.
+    pub fn with_fetch_width(mut self, width: usize) -> ResourceConstraints {
+        self.fetch_width = width;
+        self
+    }
+
+    /// Validate against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Every unit class must keep at least one enabled instance (disabling
+    /// a whole class would deadlock instructions of that class) and the
+    /// issue width must be positive.
+    pub fn validate(&self, config: &SimConfig) -> Result<(), String> {
+        if self.issue_width == 0 {
+            return Err("issue width must be positive".into());
+        }
+        if self.issue_width > config.issue_width {
+            return Err(format!(
+                "issue width {} exceeds the machine width {}",
+                self.issue_width, config.issue_width
+            ));
+        }
+        if self.fetch_width == 0 || self.fetch_width > config.fetch_width {
+            return Err(format!(
+                "fetch width {} out of range 1..={}",
+                self.fetch_width, config.fetch_width
+            ));
+        }
+        for c in FuClass::ALL {
+            let n = self.enabled(c);
+            if n == 0 {
+                return Err(format!("class {c} must keep at least one instance"));
+            }
+            if n > config.fu_count(c) {
+                return Err(format!(
+                    "class {c}: {n} enabled exceeds {} present",
+                    config.fu_count(c)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_matches_config() {
+        let cfg = SimConfig::baseline_8wide();
+        let c = ResourceConstraints::unrestricted(&cfg);
+        c.validate(&cfg).expect("valid");
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.enabled(FuClass::IntAlu), 6);
+        assert_eq!(c.enabled(FuClass::MemPort), 2);
+    }
+
+    #[test]
+    fn plb_4wide_style_constraints_validate() {
+        let cfg = SimConfig::baseline_8wide();
+        let c = ResourceConstraints::unrestricted(&cfg)
+            .with_issue_width(4)
+            .with_enabled(FuClass::IntAlu, 3)
+            .with_enabled(FuClass::IntMulDiv, 1)
+            .with_enabled(FuClass::FpAlu, 2)
+            .with_enabled(FuClass::FpMulDiv, 2);
+        c.validate(&cfg).expect("valid 4-wide mode");
+    }
+
+    #[test]
+    fn validation_rejects_bad_constraints() {
+        let cfg = SimConfig::baseline_8wide();
+        let base = ResourceConstraints::unrestricted(&cfg);
+        assert!(base.with_issue_width(0).validate(&cfg).is_err());
+        assert!(base.with_issue_width(9).validate(&cfg).is_err());
+        assert!(base.with_enabled(FuClass::FpAlu, 0).validate(&cfg).is_err());
+        assert!(base.with_enabled(FuClass::FpAlu, 5).validate(&cfg).is_err());
+    }
+}

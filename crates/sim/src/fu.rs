@@ -1,0 +1,383 @@
+//! Execution-unit pool: instance tracking, reservation and the paper's
+//! sequential-priority selection policy.
+//!
+//! §3.1 of the paper: *"Among the execution units of the same type, we
+//! statically assign priorities to the units, so that the higher-priority
+//! units are always chosen to be used before the lower priority units"* —
+//! this keeps low-priority units parked in the gated state and minimises
+//! control toggling. A round-robin policy is provided for the ablation
+//! bench.
+
+use dcg_isa::FuClass;
+
+use crate::config::SimConfig;
+
+/// Per-instance occupancy over the next 64 cycles: bit `k` set means the
+/// instance is busy at `now + k`. Shift once per simulated cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusyWindow(u64);
+
+impl BusyWindow {
+    /// `true` if the instance is busy in the current cycle.
+    #[inline]
+    pub fn busy_now(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// `true` if the instance is busy at `now + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `offset >= 64`.
+    #[inline]
+    pub fn busy_at(self, offset: u32) -> bool {
+        debug_assert!(offset < 64);
+        self.0 & (1u64 << offset) != 0
+    }
+
+    /// `true` if the span `[now+start, now+start+len)` is entirely free.
+    #[inline]
+    pub fn is_free_span(self, start: u32, len: u32) -> bool {
+        debug_assert!(start + len <= 64, "span escapes the busy window");
+        let mask = span_mask(start, len);
+        self.0 & mask == 0
+    }
+
+    /// Mark the span `[now+start, now+start+len)` busy.
+    #[inline]
+    pub fn reserve_span(&mut self, start: u32, len: u32) {
+        debug_assert!(self.is_free_span(start, len), "double reservation");
+        self.0 |= span_mask(start, len);
+    }
+
+    /// Advance one cycle (everything moves one cycle closer).
+    #[inline]
+    pub fn advance(&mut self) {
+        self.0 >>= 1;
+    }
+}
+
+#[inline]
+fn span_mask(start: u32, len: u32) -> u64 {
+    debug_assert!(len >= 1 && start + len <= 64);
+    (((1u128 << len) - 1) as u64) << start
+}
+
+/// Instance-selection policy within a unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FuSelectPolicy {
+    /// Always pick the lowest-numbered free instance (paper §3.1) —
+    /// low-numbered units stay hot, high-numbered units stay gated.
+    #[default]
+    SequentialPriority,
+    /// Rotate the starting instance (ablation baseline: maximises toggling).
+    RoundRobin,
+}
+
+#[derive(Debug)]
+struct ClassPool {
+    windows: Vec<BusyWindow>,
+    enabled: usize,
+    rr_next: usize,
+}
+
+/// Pool of all execution-unit instances, one sub-pool per [`FuClass`].
+///
+/// # Example
+///
+/// ```
+/// use dcg_isa::FuClass;
+/// use dcg_sim::{FuPool, FuSelectPolicy, SimConfig};
+///
+/// let cfg = SimConfig::baseline_8wide();
+/// let mut pool = FuPool::new(&cfg, FuSelectPolicy::SequentialPriority);
+/// // Issue two adds for execution two cycles out: sequential priority
+/// // always picks the lowest-numbered free instances (paper §3.1).
+/// assert_eq!(pool.try_reserve(FuClass::IntAlu, 2, 1), Some(0));
+/// assert_eq!(pool.try_reserve(FuClass::IntAlu, 2, 1), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct FuPool {
+    pools: Vec<ClassPool>,
+    policy: FuSelectPolicy,
+}
+
+impl FuPool {
+    /// Build the pool for `config` with the given selection policy.
+    pub fn new(config: &SimConfig, policy: FuSelectPolicy) -> FuPool {
+        let pools = FuClass::ALL
+            .iter()
+            .map(|c| ClassPool {
+                windows: vec![BusyWindow::default(); config.fu_count(*c)],
+                enabled: config.fu_count(*c),
+                rr_next: 0,
+            })
+            .collect();
+        FuPool { pools, policy }
+    }
+
+    /// Number of instances (enabled or not) of `class`.
+    pub fn count(&self, class: FuClass) -> usize {
+        self.pools[class.index()].windows.len()
+    }
+
+    /// Number of currently enabled instances of `class`.
+    pub fn enabled(&self, class: FuClass) -> usize {
+        self.pools[class.index()].enabled
+    }
+
+    /// Enable only the first `n` instances of `class` (PLB low-power modes
+    /// disable the highest-numbered instances). `n` is clamped to the
+    /// instance count.
+    pub fn set_enabled(&mut self, class: FuClass, n: usize) {
+        let pool = &mut self.pools[class.index()];
+        pool.enabled = n.min(pool.windows.len());
+    }
+
+    /// Advance all busy windows one cycle.
+    pub fn advance(&mut self) {
+        for pool in &mut self.pools {
+            for w in &mut pool.windows {
+                w.advance();
+            }
+        }
+    }
+
+    /// Try to reserve an instance of `class` for the span
+    /// `[now+start, now+start+occupy)`; returns the chosen instance index.
+    pub fn try_reserve(&mut self, class: FuClass, start: u32, occupy: u32) -> Option<usize> {
+        let pool = &mut self.pools[class.index()];
+        let n = pool.enabled;
+        if n == 0 {
+            return None;
+        }
+        let pick = match self.policy {
+            FuSelectPolicy::SequentialPriority => {
+                (0..n).find(|&i| pool.windows[i].is_free_span(start, occupy))
+            }
+            FuSelectPolicy::RoundRobin => {
+                let found = (0..n)
+                    .map(|k| (pool.rr_next + k) % n)
+                    .find(|&i| pool.windows[i].is_free_span(start, occupy));
+                if let Some(i) = found {
+                    pool.rr_next = (i + 1) % n;
+                }
+                found
+            }
+        };
+        if let Some(i) = pick {
+            pool.windows[i].reserve_span(start, occupy);
+        }
+        pick
+    }
+
+    /// Reserve a *specific* instance at `now + offset` for one cycle,
+    /// returning `false` if it is already busy (used by committed stores
+    /// grabbing a D-cache port).
+    pub fn reserve_exact(&mut self, class: FuClass, index: usize, offset: u32) -> bool {
+        let pool = &mut self.pools[class.index()];
+        let w = &mut pool.windows[index];
+        if w.is_free_span(offset, 1) {
+            w.reserve_span(offset, 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Find any enabled instance of `class` free at `now + offset` and
+    /// reserve it for one cycle.
+    pub fn reserve_any_at(&mut self, class: FuClass, offset: u32) -> Option<usize> {
+        let pool = &mut self.pools[class.index()];
+        let n = pool.enabled;
+        let pick = (0..n).find(|&i| pool.windows[i].is_free_span(offset, 1))?;
+        pool.windows[pick].reserve_span(offset, 1);
+        Some(pick)
+    }
+
+    /// Bitmask of instances of `class` busy in the current cycle.
+    pub fn busy_mask_now(&self, class: FuClass) -> u32 {
+        let pool = &self.pools[class.index()];
+        pool.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.busy_now())
+            .fold(0u32, |m, (i, _)| m | (1 << i))
+    }
+
+    /// Bitmask of instances of `class` busy at `now + offset`.
+    pub fn busy_mask_at(&self, class: FuClass, offset: u32) -> u32 {
+        let pool = &self.pools[class.index()];
+        pool.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.busy_at(offset))
+            .fold(0u32, |m, (i, _)| m | (1 << i))
+    }
+}
+
+/// Tracks which unit instances are *active* (holding an operation in any
+/// internal pipe stage) each cycle.
+///
+/// Distinct from [`FuPool`] reservation: a pipelined FPU accepts a new op
+/// every cycle (initiation interval 1) but each op keeps the unit's logic
+/// switching for its full latency — the unit is only gateable in cycles
+/// where *no* op is in flight. This tracker is the ground truth the DCG
+/// invariant checks against.
+#[derive(Debug)]
+pub struct ActiveTracker {
+    windows: Vec<Vec<BusyWindow>>,
+}
+
+impl ActiveTracker {
+    /// Build the tracker for `config`.
+    pub fn new(config: &SimConfig) -> ActiveTracker {
+        ActiveTracker {
+            windows: FuClass::ALL
+                .iter()
+                .map(|c| vec![BusyWindow::default(); config.fu_count(*c)])
+                .collect(),
+        }
+    }
+
+    /// Mark instance `index` of `class` active over
+    /// `[now+start, now+start+len)`. Overlapping marks merge.
+    pub fn mark(&mut self, class: FuClass, index: usize, start: u32, len: u32) {
+        let w = &mut self.windows[class.index()][index];
+        // Merge rather than assert: overlapping ops on a pipelined unit are
+        // legal and both keep the unit active.
+        let mask = (((1u128 << len) - 1) as u64) << start;
+        *w = BusyWindow(w.0 | mask);
+    }
+
+    /// Advance one cycle.
+    pub fn advance(&mut self) {
+        for class in &mut self.windows {
+            for w in class {
+                w.advance();
+            }
+        }
+    }
+
+    /// Bitmask of instances of `class` active in the current cycle.
+    pub fn mask_now(&self, class: FuClass) -> u32 {
+        self.windows[class.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.busy_now())
+            .fold(0u32, |m, (i, _)| m | (1 << i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn pool(policy: FuSelectPolicy) -> FuPool {
+        FuPool::new(&SimConfig::baseline_8wide(), policy)
+    }
+
+    #[test]
+    fn busy_window_span_logic() {
+        let mut w = BusyWindow::default();
+        assert!(w.is_free_span(2, 3));
+        w.reserve_span(2, 3);
+        assert!(!w.busy_now());
+        assert!(w.busy_at(2) && w.busy_at(4));
+        assert!(!w.busy_at(5));
+        assert!(!w.is_free_span(4, 1));
+        assert!(w.is_free_span(5, 10));
+        w.advance();
+        assert!(w.busy_at(1) && w.busy_at(3) && !w.busy_at(4));
+        w.advance();
+        assert!(w.busy_now());
+    }
+
+    #[test]
+    fn sequential_priority_prefers_low_indices() {
+        let mut p = pool(FuSelectPolicy::SequentialPriority);
+        // Two simultaneous int-alu reservations must take instances 0, 1.
+        assert_eq!(p.try_reserve(FuClass::IntAlu, 2, 1), Some(0));
+        assert_eq!(p.try_reserve(FuClass::IntAlu, 2, 1), Some(1));
+        // Next cycle (advance) the same instances are preferred again.
+        p.advance();
+        assert_eq!(p.try_reserve(FuClass::IntAlu, 2, 1), Some(0));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut p = pool(FuSelectPolicy::RoundRobin);
+        let a = p.try_reserve(FuClass::IntAlu, 2, 1).unwrap();
+        p.advance();
+        let b = p.try_reserve(FuClass::IntAlu, 2, 1).unwrap();
+        assert_ne!(a, b, "round robin must rotate instances across cycles");
+    }
+
+    #[test]
+    fn exhausting_a_class_returns_none() {
+        let mut p = pool(FuSelectPolicy::SequentialPriority);
+        for i in 0..2 {
+            assert_eq!(p.try_reserve(FuClass::IntMulDiv, 2, 1), Some(i));
+        }
+        assert_eq!(p.try_reserve(FuClass::IntMulDiv, 2, 1), None);
+    }
+
+    #[test]
+    fn unpipelined_occupancy_blocks_reissue() {
+        let mut p = pool(FuSelectPolicy::SequentialPriority);
+        // A 20-cycle divide occupies instance 0 for 20 cycles.
+        assert_eq!(p.try_reserve(FuClass::IntMulDiv, 2, 20), Some(0));
+        // A second divide goes to instance 1; a third has no instance.
+        assert_eq!(p.try_reserve(FuClass::IntMulDiv, 2, 20), Some(1));
+        assert_eq!(p.try_reserve(FuClass::IntMulDiv, 2, 20), None);
+        // 10 cycles later both are still busy.
+        for _ in 0..10 {
+            p.advance();
+        }
+        assert_eq!(p.try_reserve(FuClass::IntMulDiv, 0, 1), None);
+        // After the full latency they free up.
+        for _ in 0..12 {
+            p.advance();
+        }
+        assert_eq!(p.try_reserve(FuClass::IntMulDiv, 0, 1), Some(0));
+    }
+
+    #[test]
+    fn disabling_instances_limits_selection() {
+        let mut p = pool(FuSelectPolicy::SequentialPriority);
+        p.set_enabled(FuClass::IntAlu, 3); // PLB 4-wide mode: 6 -> 3 ALUs
+        assert_eq!(p.enabled(FuClass::IntAlu), 3);
+        for i in 0..3 {
+            assert_eq!(p.try_reserve(FuClass::IntAlu, 2, 1), Some(i));
+        }
+        assert_eq!(p.try_reserve(FuClass::IntAlu, 2, 1), None);
+        // Re-enabling restores capacity.
+        p.set_enabled(FuClass::IntAlu, 6);
+        assert_eq!(p.try_reserve(FuClass::IntAlu, 2, 1), Some(3));
+    }
+
+    #[test]
+    fn busy_masks_track_reservations() {
+        let mut p = pool(FuSelectPolicy::SequentialPriority);
+        p.try_reserve(FuClass::FpAlu, 1, 2);
+        assert_eq!(p.busy_mask_now(FuClass::FpAlu), 0);
+        assert_eq!(p.busy_mask_at(FuClass::FpAlu, 1), 0b1);
+        p.advance();
+        assert_eq!(p.busy_mask_now(FuClass::FpAlu), 0b1);
+        p.advance();
+        assert_eq!(p.busy_mask_now(FuClass::FpAlu), 0b1);
+        p.advance();
+        assert_eq!(p.busy_mask_now(FuClass::FpAlu), 0);
+    }
+
+    #[test]
+    fn exact_and_any_port_reservation() {
+        let mut p = pool(FuSelectPolicy::SequentialPriority);
+        assert!(p.reserve_exact(FuClass::MemPort, 0, 1));
+        assert!(!p.reserve_exact(FuClass::MemPort, 0, 1), "double booking");
+        assert_eq!(p.reserve_any_at(FuClass::MemPort, 1), Some(1));
+        assert_eq!(p.reserve_any_at(FuClass::MemPort, 1), None);
+        assert_eq!(p.busy_mask_at(FuClass::MemPort, 1), 0b11);
+    }
+}

@@ -1,0 +1,319 @@
+//! Aggregate simulation statistics and the utilization numbers the paper's
+//! §5 quotes (execution units ≈ 35 %/23 %, pipeline latches ≈ 60 %, memory
+//! ports ≈ 40 %, result bus ≈ 40 %).
+
+use dcg_isa::FuClass;
+
+use crate::activity::CycleActivity;
+use crate::config::SimConfig;
+
+/// Running totals over a simulation.
+///
+/// # Example
+///
+/// ```
+/// use dcg_sim::{Processor, SimConfig};
+/// use dcg_workloads::{Spec2000, SyntheticWorkload};
+///
+/// let cfg = SimConfig::baseline_8wide();
+/// let stream = SyntheticWorkload::new(Spec2000::by_name("gzip").unwrap(), 1);
+/// let mut cpu = Processor::new(cfg.clone(), stream);
+/// cpu.run_until_commits(5_000, |_| {});
+/// let s = cpu.stats();
+/// assert!(s.ipc() > 0.0);
+/// assert!(s.port_utilization(&cfg) <= 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// FP instructions issued.
+    pub issued_fp: u64,
+    /// Loads issued.
+    pub issued_loads: u64,
+    /// Stores issued.
+    pub issued_stores: u64,
+    /// Active instance-cycles per unit class.
+    pub fu_active_cycles: [u64; FuClass::COUNT],
+    /// D-cache port-cycles in use (decoder firings).
+    pub dcache_port_cycles: u64,
+    /// D-cache accesses.
+    pub dcache_accesses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// I-cache accesses.
+    pub icache_accesses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// Branch-predictor lookups.
+    pub bpred_lookups: u64,
+    /// Branch mispredictions (set by the pipeline at the end of a run).
+    pub mispredicts: u64,
+    /// Result-bus bus-cycles in use.
+    pub result_bus_cycles: u64,
+    /// Register-file reads.
+    pub regfile_reads: u64,
+    /// Register-file writes.
+    pub regfile_writes: u64,
+    /// Slots written per latch group (summed over cycles).
+    pub latch_slot_writes: Vec<u64>,
+}
+
+impl SimStats {
+    /// Accumulate one cycle's activity.
+    pub fn record(&mut self, act: &CycleActivity) {
+        self.cycles += 1;
+        self.committed += u64::from(act.committed);
+        self.fetched += u64::from(act.fetched);
+        self.issued += u64::from(act.issued);
+        self.issued_fp += u64::from(act.issued_fp);
+        self.issued_loads += u64::from(act.issued_loads);
+        self.issued_stores += u64::from(act.issued_stores);
+        for c in FuClass::ALL {
+            self.fu_active_cycles[c.index()] += u64::from(act.fu_active[c.index()].count_ones());
+        }
+        self.dcache_port_cycles += u64::from(act.dcache_port_mask.count_ones());
+        self.dcache_accesses += u64::from(act.dcache_load_accesses + act.dcache_store_accesses);
+        self.dcache_misses += u64::from(act.dcache_misses);
+        self.l2_accesses += u64::from(act.l2_accesses);
+        self.icache_accesses += u64::from(act.icache_access);
+        self.icache_misses += u64::from(act.icache_miss);
+        self.bpred_lookups += u64::from(act.bpred_lookups);
+        self.result_bus_cycles += u64::from(act.result_bus_used);
+        self.regfile_reads += u64::from(act.regfile_reads);
+        self.regfile_writes += u64::from(act.regfile_writes);
+        if self.latch_slot_writes.len() < act.latch_occupancy.len() {
+            self.latch_slot_writes.resize(act.latch_occupancy.len(), 0);
+        }
+        for (sum, occ) in self.latch_slot_writes.iter_mut().zip(&act.latch_occupancy) {
+            *sum += u64::from(*occ);
+        }
+    }
+
+    /// Difference between this snapshot and an `earlier` one: statistics
+    /// for the window between the two (e.g. excluding warm-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `earlier` is not actually earlier.
+    pub fn delta(&self, earlier: &SimStats) -> SimStats {
+        debug_assert!(earlier.cycles <= self.cycles, "snapshots out of order");
+        let mut latch = self.latch_slot_writes.clone();
+        for (a, b) in latch.iter_mut().zip(&earlier.latch_slot_writes) {
+            *a -= b;
+        }
+        let mut fu = self.fu_active_cycles;
+        for (a, b) in fu.iter_mut().zip(&earlier.fu_active_cycles) {
+            *a -= b;
+        }
+        SimStats {
+            cycles: self.cycles - earlier.cycles,
+            committed: self.committed - earlier.committed,
+            fetched: self.fetched - earlier.fetched,
+            issued: self.issued - earlier.issued,
+            issued_fp: self.issued_fp - earlier.issued_fp,
+            issued_loads: self.issued_loads - earlier.issued_loads,
+            issued_stores: self.issued_stores - earlier.issued_stores,
+            fu_active_cycles: fu,
+            dcache_port_cycles: self.dcache_port_cycles - earlier.dcache_port_cycles,
+            dcache_accesses: self.dcache_accesses - earlier.dcache_accesses,
+            dcache_misses: self.dcache_misses - earlier.dcache_misses,
+            l2_accesses: self.l2_accesses - earlier.l2_accesses,
+            icache_accesses: self.icache_accesses - earlier.icache_accesses,
+            icache_misses: self.icache_misses - earlier.icache_misses,
+            bpred_lookups: self.bpred_lookups - earlier.bpred_lookups,
+            mispredicts: self.mispredicts - earlier.mispredicts,
+            result_bus_cycles: self.result_bus_cycles - earlier.result_bus_cycles,
+            regfile_reads: self.regfile_reads - earlier.regfile_reads,
+            regfile_writes: self.regfile_writes - earlier.regfile_writes,
+            latch_slot_writes: latch,
+        }
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Issued instructions per cycle (PLB's primary trigger metric).
+    pub fn issue_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issued as f64 / self.cycles as f64
+        }
+    }
+
+    /// Utilization of unit class `class`: active instance-cycles over total
+    /// instance-cycles.
+    pub fn fu_utilization(&self, class: FuClass, config: &SimConfig) -> f64 {
+        let denom = self.cycles * config.fu_count(class) as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fu_active_cycles[class.index()] as f64 / denom as f64
+        }
+    }
+
+    /// Combined utilization of the integer unit classes.
+    pub fn int_unit_utilization(&self, config: &SimConfig) -> f64 {
+        let active = self.fu_active_cycles[FuClass::IntAlu.index()]
+            + self.fu_active_cycles[FuClass::IntMulDiv.index()];
+        let denom = self.cycles * (config.int_alus + config.int_muldivs) as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            active as f64 / denom as f64
+        }
+    }
+
+    /// Combined utilization of the FP unit classes.
+    pub fn fp_unit_utilization(&self, config: &SimConfig) -> f64 {
+        let active = self.fu_active_cycles[FuClass::FpAlu.index()]
+            + self.fu_active_cycles[FuClass::FpMulDiv.index()];
+        let denom = self.cycles * (config.fp_alus + config.fp_muldivs) as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            active as f64 / denom as f64
+        }
+    }
+
+    /// D-cache port (wordline decoder) utilization.
+    pub fn port_utilization(&self, config: &SimConfig) -> f64 {
+        let denom = self.cycles * config.mem_ports as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            self.dcache_port_cycles as f64 / denom as f64
+        }
+    }
+
+    /// Result-bus utilization.
+    pub fn result_bus_utilization(&self, config: &SimConfig) -> f64 {
+        let denom = self.cycles * config.result_buses as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            self.result_bus_cycles as f64 / denom as f64
+        }
+    }
+
+    /// Average slot occupancy of latch group `idx` relative to the issue
+    /// width (the "latch utilization" of paper §5.3).
+    pub fn latch_utilization(&self, idx: usize, config: &SimConfig) -> f64 {
+        let denom = self.cycles * config.issue_width as u64;
+        if denom == 0 || idx >= self.latch_slot_writes.len() {
+            0.0
+        } else {
+            self.latch_slot_writes[idx] as f64 / denom as f64
+        }
+    }
+
+    /// Average latch utilization across all groups.
+    pub fn mean_latch_utilization(&self, config: &SimConfig) -> f64 {
+        if self.latch_slot_writes.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..self.latch_slot_writes.len())
+            .map(|i| self.latch_utilization(i, config))
+            .sum();
+        total / self.latch_slot_writes.len() as f64
+    }
+
+    /// D-cache miss rate.
+    pub fn dcache_miss_rate(&self) -> f64 {
+        if self.dcache_accesses == 0 {
+            0.0
+        } else {
+            self.dcache_misses as f64 / self.dcache_accesses as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.bpred_lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.bpred_lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_activity() -> CycleActivity {
+        let mut a = CycleActivity {
+            committed: 4,
+            issued: 5,
+            issued_fp: 2,
+            dcache_port_mask: 0b01,
+            dcache_load_accesses: 1,
+            result_bus_used: 4,
+            ..CycleActivity::default()
+        };
+        a.fu_active[FuClass::IntAlu.index()] = 0b0111; // 3 active
+        a.fu_active[FuClass::FpAlu.index()] = 0b0011;
+        a.latch_occupancy = vec![8, 8, 4, 4];
+        a
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = SimStats::default();
+        for _ in 0..10 {
+            s.record(&sample_activity());
+        }
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.committed, 40);
+        assert_eq!(s.ipc(), 4.0);
+        assert_eq!(s.issue_ipc(), 5.0);
+        assert_eq!(s.fu_active_cycles[FuClass::IntAlu.index()], 30);
+        assert_eq!(s.latch_slot_writes, vec![80, 80, 40, 40]);
+    }
+
+    #[test]
+    fn utilizations() {
+        let cfg = SimConfig::baseline_8wide();
+        let mut s = SimStats::default();
+        for _ in 0..100 {
+            s.record(&sample_activity());
+        }
+        // 3 of 6 int ALUs active, 0 of 2 muldiv.
+        assert!((s.fu_utilization(FuClass::IntAlu, &cfg) - 0.5).abs() < 1e-9);
+        assert!((s.int_unit_utilization(&cfg) - 3.0 / 8.0).abs() < 1e-9);
+        assert!((s.fp_unit_utilization(&cfg) - 2.0 / 8.0).abs() < 1e-9);
+        // 1 of 2 ports.
+        assert!((s.port_utilization(&cfg) - 0.5).abs() < 1e-9);
+        // 4 of 8 buses.
+        assert!((s.result_bus_utilization(&cfg) - 0.5).abs() < 1e-9);
+        // Latch groups: 8/8, 8/8, 4/8, 4/8 -> mean 0.75.
+        assert!((s.mean_latch_utilization(&cfg) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_nan() {
+        let cfg = SimConfig::baseline_8wide();
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.fu_utilization(FuClass::FpAlu, &cfg), 0.0);
+        assert_eq!(s.port_utilization(&cfg), 0.0);
+        assert_eq!(s.mean_latch_utilization(&cfg), 0.0);
+        assert_eq!(s.dcache_miss_rate(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Calibration probe: prints per-benchmark IPC and utilization numbers for
+//! comparison with the paper's §5 targets (integer units ≈ 35 % / 25 %,
+//! FP units ≈ 0 / 23 %, latches ≈ 60 %, memory ports ≈ 40 %, result bus
+//! ≈ 40 %). Run with:
+//!
+//! ```text
+//! cargo test -p dcg-sim --test calibration_probe -- --ignored --nocapture
+//! ```
+
+use dcg_sim::{Processor, SimConfig};
+use dcg_workloads::{Spec2000, SyntheticWorkload};
+
+#[test]
+#[ignore = "manual calibration tool (prints a table)"]
+fn print_utilization_table() {
+    let cfg = SimConfig::baseline_8wide();
+    println!(
+        "{:<10} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "bench", "ipc", "int-u", "fp-u", "port-u", "bus-u", "latch-u", "dL1miss", "bpmiss"
+    );
+    for p in Spec2000::all() {
+        let stream = SyntheticWorkload::new(p, 42);
+        let mut cpu = Processor::new(cfg.clone(), stream);
+        cpu.run_until_commits(50_000, |_| {}); // warm-up
+        let warm_cycles = cpu.stats().cycles;
+        let warm_committed = cpu.stats().committed;
+        cpu.run_until_commits(300_000, |_| {});
+        let s = cpu.stats();
+        let ipc = (s.committed - warm_committed) as f64 / (s.cycles - warm_cycles) as f64;
+        println!(
+            "{:<10} {:>5.2} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            p.name,
+            ipc,
+            100.0 * s.int_unit_utilization(&cfg),
+            100.0 * s.fp_unit_utilization(&cfg),
+            100.0 * s.port_utilization(&cfg),
+            100.0 * s.result_bus_utilization(&cfg),
+            100.0 * s.mean_latch_utilization(&cfg),
+            100.0 * s.dcache_miss_rate(),
+            100.0 * s.mispredict_rate(),
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Manual sensitivity probe: which resource is binding?
+//!
+//! ```text
+//! cargo test -p dcg-sim --release --test sensitivity_probe -- --ignored --nocapture
+//! ```
+
+use dcg_sim::{Processor, SimConfig};
+use dcg_workloads::{Spec2000, SyntheticWorkload};
+
+fn ipc(name: &str, cfg: SimConfig) -> f64 {
+    let p = Spec2000::by_name(name).unwrap();
+    let mut cpu = Processor::new(cfg, SyntheticWorkload::new(p, 42));
+    cpu.run_until_commits(30_000, |_| {});
+    let (c0, y0) = (cpu.stats().committed, cpu.stats().cycles);
+    cpu.run_until_commits(150_000, |_| {});
+    (cpu.stats().committed - c0) as f64 / (cpu.stats().cycles - y0) as f64
+}
+
+#[test]
+#[ignore = "manual diagnostic tool (prints a table)"]
+fn print_sensitivity() {
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "bench", "base", "alus+", "ports+", "rob+", "width+", "mem0"
+    );
+    for name in ["gzip", "bzip2", "twolf", "parser", "swim", "applu"] {
+        let base = SimConfig::baseline_8wide();
+
+        let mut alus = base.clone();
+        alus.int_alus = 12;
+        alus.fp_alus = 8;
+        alus.fp_muldivs = 8;
+
+        let mut ports = base.clone();
+        ports.mem_ports = 4;
+
+        let mut rob = base.clone();
+        rob.rob_entries = 512;
+        rob.iq_entries = 512;
+        rob.lsq_entries = 256;
+
+        let mut width = base.clone();
+        width.fetch_width = 16;
+        width.issue_width = 16;
+        width.commit_width = 16;
+        width.result_buses = 16;
+
+        let mut mem0 = base.clone();
+        mem0.mem_latency = 1;
+        mem0.l2.latency = 1;
+
+        println!(
+            "{:<10} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+            name,
+            ipc(name, base),
+            ipc(name, alus),
+            ipc(name, ports),
+            ipc(name, rob),
+            ipc(name, width),
+            ipc(name, mem0),
+        );
+    }
+}

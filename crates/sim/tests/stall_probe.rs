@@ -1,0 +1,51 @@
+//! Manual stall-breakdown probe: where do the cycles go?
+//!
+//! ```text
+//! cargo test -p dcg-sim --release --test stall_probe -- --ignored --nocapture
+//! ```
+
+use dcg_sim::{Processor, SimConfig};
+use dcg_workloads::{Spec2000, SyntheticWorkload};
+
+#[test]
+#[ignore = "manual diagnostic tool (prints a table)"]
+fn print_stall_breakdown() {
+    let cfg = SimConfig::baseline_8wide();
+    println!(
+        "{:<10} {:>5} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7}",
+        "bench", "ipc", "fet/c", "iss/c", "com/c", "fet0%", "iss0%", "com0%", "disp0%"
+    );
+    for name in ["gzip", "bzip2", "perlbmk", "vortex", "mcf", "swim", "mesa"] {
+        let p = Spec2000::by_name(name).unwrap();
+        let stream = SyntheticWorkload::new(p, 42);
+        let mut cpu = Processor::new(cfg.clone(), stream);
+        cpu.run_until_commits(50_000, |_| {});
+        let (mut f, mut i, mut c, mut d) = (0u64, 0u64, 0u64, 0u64);
+        let (mut f0, mut i0, mut c0, mut d0) = (0u64, 0u64, 0u64, 0u64);
+        let mut cycles = 0u64;
+        cpu.run_until_commits(200_000, |act| {
+            cycles += 1;
+            f += u64::from(act.fetched);
+            i += u64::from(act.issued);
+            c += u64::from(act.committed);
+            d += u64::from(act.dispatched);
+            f0 += u64::from(act.fetched == 0);
+            i0 += u64::from(act.issued == 0);
+            c0 += u64::from(act.committed == 0);
+            d0 += u64::from(act.dispatched == 0);
+        });
+        println!(
+            "{:<10} {:>5.2} {:>6.2} {:>6.2} {:>6.2} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            name,
+            c as f64 / cycles as f64,
+            f as f64 / cycles as f64,
+            i as f64 / cycles as f64,
+            c as f64 / cycles as f64,
+            100.0 * f0 as f64 / cycles as f64,
+            100.0 * i0 as f64 / cycles as f64,
+            100.0 * c0 as f64 / cycles as f64,
+            100.0 * d0 as f64 / cycles as f64,
+        );
+        let _ = d;
+    }
+}

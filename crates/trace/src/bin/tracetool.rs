@@ -1,0 +1,116 @@
+//! `tracetool` — record, inspect and verify DCG trace files.
+//!
+//! ```text
+//! tracetool record <benchmark> <instructions> <file> [seed]
+//! tracetool info   <file>
+//! tracetool verify <file>
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use dcg_trace::{TraceReader, TraceWriter};
+use dcg_workloads::{InstStream, Spec2000, SyntheticWorkload};
+
+const USAGE: &str = "usage:\n  tracetool record <benchmark> <instructions> <file> [seed]\n  tracetool info <file>\n  tracetool verify <file>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn record(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [bench, count, path, rest @ ..] = args else {
+        return Err(USAGE.into());
+    };
+    let seed: u64 = rest.first().map(|s| s.parse()).transpose()?.unwrap_or(42);
+    let count: u64 = count.parse()?;
+    let profile = Spec2000::by_name(bench)
+        .ok_or_else(|| format!("unknown benchmark {bench}; see `Spec2000::all()`"))?;
+    let mut workload = SyntheticWorkload::new(profile, seed);
+    let file = BufWriter::new(File::create(path)?);
+    let mut writer = TraceWriter::new(file, bench)?;
+    for _ in 0..count {
+        writer.write_inst(&workload.next_inst())?;
+    }
+    let bytes = writer.bytes();
+    writer.finish()?;
+    println!(
+        "recorded {count} instructions of {bench} (seed {seed}) to {path}: {bytes} bytes \
+         ({:.1} B/inst)",
+        bytes as f64 / count as f64
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [path] = args else {
+        return Err(USAGE.into());
+    };
+    let mut reader = TraceReader::new(BufReader::new(File::open(path)?))?;
+    println!("file     : {path}");
+    println!("version  : {}", reader.header().version);
+    println!("benchmark: {}", reader.header().name);
+    let mut branches = 0u64;
+    let mut mems = 0u64;
+    while let Some(inst) = reader.read_inst()? {
+        branches += u64::from(inst.branch.is_some());
+        mems += u64::from(inst.mem.is_some());
+    }
+    let n = reader.read_count();
+    println!("records  : {n}");
+    if n > 0 {
+        println!(
+            "mix      : {:.1}% memory, {:.1}% branches",
+            100.0 * mems as f64 / n as f64,
+            100.0 * branches as f64 / n as f64
+        );
+    }
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [path] = args else {
+        return Err(USAGE.into());
+    };
+    let mut reader = TraceReader::new(BufReader::new(File::open(path)?))?;
+    let mut prev: Option<dcg_isa::Inst> = None;
+    while let Some(inst) = reader.read_inst()? {
+        if !inst.is_well_formed() {
+            return Err(format!("malformed instruction at record {}", reader.read_count()).into());
+        }
+        if let Some(p) = prev {
+            if inst.pc != p.successor_pc() {
+                return Err(format!(
+                    "PC discontinuity at record {}: {:#x} after {:#x}",
+                    reader.read_count(),
+                    inst.pc,
+                    p.pc
+                )
+                .into());
+            }
+        }
+        prev = Some(inst);
+    }
+    println!(
+        "{path}: {} records, well-formed and sequentially consistent",
+        reader.read_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! On-disk format details shared by the reader and writer.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   : 8 bytes  = "DCGTRC01"
+//! version : u32 LE   = 1
+//! namelen : varint   (<= 255)
+//! name    : namelen UTF-8 bytes
+//! records : until EOF, each:
+//!   tag   : u8        bit0 = PC equals predecessor's successor
+//!   w1    : varint    packed opcode/operand word (dcg-isa encoding)
+//!   pc    : varint    only when tag bit0 is clear
+//!   w2    : varint    only for memory/branch classes (address/target)
+//! ```
+
+use std::io::{Read, Write};
+
+use dcg_isa::OpClass;
+
+use crate::error::TraceError;
+use crate::varint;
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"DCGTRC01";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Tag flag: this record's PC is the previous record's successor PC.
+pub const FLAG_SEQUENTIAL_PC: u8 = 0x01;
+/// Longest accepted benchmark name.
+pub const MAX_NAME: usize = 255;
+
+/// Whether a packed `w1` word implies a trailing payload word (effective
+/// address or branch target).
+pub fn needs_payload(w1: u64) -> bool {
+    match OpClass::from_index((w1 & 0xf) as usize) {
+        Some(op) => op.is_mem() || op == OpClass::Branch,
+        None => false,
+    }
+}
+
+/// Parsed trace header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Format version.
+    pub version: u32,
+    /// Benchmark name recorded by the producer.
+    pub name: String,
+}
+
+impl Header {
+    /// Header for benchmark `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TraceError::BadName`] if the name exceeds
+    /// `MAX_NAME` (255) bytes.
+    pub fn new(name: &str) -> Result<Header, TraceError> {
+        if name.len() > MAX_NAME {
+            return Err(TraceError::BadName);
+        }
+        Ok(Header {
+            version: VERSION,
+            name: name.to_string(),
+        })
+    }
+
+    /// Serialise; returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<usize, TraceError> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&self.version.to_le_bytes())?;
+        let mut n = MAGIC.len() + 4;
+        n += varint::write_u64(w, self.name.len() as u64)?;
+        w.write_all(self.name.as_bytes())?;
+        n += self.name.len();
+        Ok(n)
+    }
+
+    /// Parse a header from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic, unsupported version, oversized or non-UTF-8
+    /// names, or I/O errors.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Header, TraceError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let mut version = [0u8; 4];
+        r.read_exact(&mut version)?;
+        let version = u32::from_le_bytes(version);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let len = varint::read_u64(r)? as usize;
+        if len > MAX_NAME {
+            return Err(TraceError::BadName);
+        }
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| TraceError::BadName)?;
+        Ok(Header { version, name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header::new("mcf").expect("name fits");
+        let mut buf = Vec::new();
+        let n = h.write_to(&mut buf).expect("write");
+        assert_eq!(n, buf.len());
+        let back = Header::read_from(&mut &buf[..]).expect("read");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        Header::new("x").unwrap().write_to(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Header::read_from(&mut &bad[..]),
+            Err(TraceError::BadMagic(_))
+        ));
+        let mut badv = buf.clone();
+        badv[8] = 9;
+        assert!(matches!(
+            Header::read_from(&mut &badv[..]),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_name() {
+        let long = "x".repeat(MAX_NAME + 1);
+        assert!(matches!(Header::new(&long), Err(TraceError::BadName)));
+    }
+
+    #[test]
+    fn payload_presence_follows_class() {
+        // IntAlu (index 0): no payload; Load (6), Store (7), Branch (8): payload.
+        assert!(!needs_payload(0));
+        assert!(needs_payload(6));
+        assert!(needs_payload(7));
+        assert!(needs_payload(8));
+        assert!(!needs_payload(15), "invalid class defers to decode errors");
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace playback.
+
+use std::io::{ErrorKind, Read};
+
+use dcg_isa::{decode_word, Inst};
+use dcg_workloads::ReplayStream;
+
+use crate::error::TraceError;
+use crate::format::{needs_payload, Header, FLAG_SEQUENTIAL_PC};
+use crate::varint;
+
+/// Streams instructions out of a trace file.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    header: Header,
+    next_pc: Option<u64>,
+    read: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parse the header and position at the first record.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed headers or I/O errors.
+    pub fn new(mut source: R) -> Result<TraceReader<R>, TraceError> {
+        let header = Header::read_from(&mut source)?;
+        Ok(TraceReader {
+            source,
+            header,
+            next_pc: None,
+            read: 0,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Instructions decoded so far.
+    pub fn read_count(&self) -> u64 {
+        self.read
+    }
+
+    /// Decode the next instruction; `Ok(None)` at a clean end of file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated records, undecodable words or I/O errors.
+    pub fn read_inst(&mut self) -> Result<Option<Inst>, TraceError> {
+        let mut tag = [0u8; 1];
+        match self.source.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let w1 = varint::read_u64(&mut self.source)?;
+        let pc = if tag[0] & FLAG_SEQUENTIAL_PC != 0 {
+            self.next_pc
+                .ok_or(TraceError::Corrupt(dcg_isa::DecodeWordError::Malformed))?
+        } else {
+            varint::read_u64(&mut self.source)?
+        };
+        let w2 = if needs_payload(w1) {
+            varint::read_u64(&mut self.source)?
+        } else {
+            0
+        };
+        let inst = decode_word(&[pc, w1, w2])?;
+        self.next_pc = Some(inst.successor_pc());
+        self.read += 1;
+        Ok(Some(inst))
+    }
+
+    /// Decode the remaining records into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed record.
+    pub fn read_all(mut self) -> Result<Vec<Inst>, TraceError> {
+        let mut out = Vec::new();
+        while let Some(inst) = self.read_inst()? {
+            out.push(inst);
+        }
+        Ok(out)
+    }
+
+    /// Load the whole trace into a looping [`ReplayStream`] for the
+    /// simulator's unbounded fetch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed records, or if the trace holds no instructions.
+    pub fn into_replay(self) -> Result<ReplayStream, TraceError> {
+        let name = self.header.name.clone();
+        let insts = self.read_all()?;
+        if insts.is_empty() {
+            return Err(TraceError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "trace holds no instructions",
+            )));
+        }
+        Ok(ReplayStream::new(name, insts))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Inst, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_inst().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use dcg_isa::{ArchReg, BranchInfo, MemRef, OpClass};
+
+    fn sample_trace() -> Vec<Inst> {
+        vec![
+            Inst::alu(0x1000, OpClass::IntAlu)
+                .with_dest(ArchReg::int(3))
+                .with_srcs([Some(ArchReg::int(1)), Some(ArchReg::int(2))]),
+            Inst::load(0x1004, MemRef::new(0x2000_0000, 8)).with_dest(ArchReg::int(4)),
+            Inst::store(0x1008, MemRef::new(0x2000_0008, 8))
+                .with_srcs([Some(ArchReg::int(0)), Some(ArchReg::int(4))]),
+            Inst::branch(0x100c, BranchInfo::conditional(true, 0x1000)),
+            Inst::alu(0x1000, OpClass::FpMul)
+                .with_dest(ArchReg::fp(1))
+                .with_srcs([Some(ArchReg::fp(2)), None]),
+        ]
+    }
+
+    fn write_sample() -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, "sample").expect("header");
+        for i in sample_trace() {
+            w.write_inst(&i).expect("write");
+        }
+        w.finish().expect("finish");
+        buf
+    }
+
+    #[test]
+    fn roundtrip_all_classes() {
+        let buf = write_sample();
+        let r = TraceReader::new(&buf[..]).expect("header");
+        assert_eq!(r.header().name, "sample");
+        let back = r.read_all().expect("decode");
+        assert_eq!(back, sample_trace());
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let buf = write_sample();
+        let r = TraceReader::new(&buf[..]).expect("header");
+        let collected: Result<Vec<Inst>, _> = r.collect();
+        assert_eq!(collected.expect("ok"), sample_trace());
+    }
+
+    #[test]
+    fn into_replay_wraps() {
+        use dcg_workloads::InstStream;
+        let buf = write_sample();
+        let mut stream = TraceReader::new(&buf[..])
+            .expect("header")
+            .into_replay()
+            .expect("load");
+        let n = sample_trace().len();
+        for k in 0..(2 * n) {
+            assert_eq!(stream.next_inst(), sample_trace()[k % n]);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let buf = write_sample();
+        // Cut mid-record (drop the last byte).
+        let cut = &buf[..buf.len() - 1];
+        let r = TraceReader::new(cut).expect("header ok");
+        let result: Result<Vec<Inst>, _> = r.collect();
+        assert!(result.is_err(), "mid-record truncation must error");
+    }
+
+    #[test]
+    fn sequential_flag_without_predecessor_is_corrupt() {
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf, "x").expect("header");
+        // Hand-craft a first record that claims a sequential PC.
+        buf.push(FLAG_SEQUENTIAL_PC);
+        varint::write_u64(&mut buf, 0).expect("w1");
+        let mut r = TraceReader::new(&buf[..]).expect("header");
+        assert!(r.read_inst().is_err());
+    }
+
+    #[test]
+    fn empty_trace_yields_no_instructions() {
+        let mut buf = Vec::new();
+        let w = TraceWriter::new(&mut buf, "empty").expect("header");
+        w.finish().expect("finish");
+        let mut r = TraceReader::new(&buf[..]).expect("header");
+        assert!(r.read_inst().expect("clean eof").is_none());
+        let r = TraceReader::new(&buf[..]).expect("header");
+        assert!(r.into_replay().is_err(), "replay needs >= 1 instruction");
+    }
+}

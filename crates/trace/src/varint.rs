@@ -1,0 +1,121 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Trace files store one packed word and (for memory/branch instructions)
+//! one address per instruction; varints shrink the common small values —
+//! the dominant share of trace bytes — to a few bytes each.
+
+use std::io::{self, Read, Write};
+
+/// Maximum encoded length of a `u64` (10 × 7 bits ≥ 64 bits).
+pub const MAX_LEN: usize = 10;
+
+/// Write `value` as LEB128.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> io::Result<usize> {
+    let mut buf = [0u8; MAX_LEN];
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        buf[n] = if value == 0 { byte } else { byte | 0x80 };
+        n += 1;
+        if value == 0 {
+            break;
+        }
+    }
+    w.write_all(&buf[..n])?;
+    Ok(n)
+}
+
+/// Read a LEB128 `u64`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a non-terminated or over-long encoding, and
+/// propagates underlying I/O errors (including clean EOF as
+/// `UnexpectedEof`).
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift == 63 && b > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint longer than 10 bytes",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).expect("write to Vec");
+        read_u64(&mut &buf[..]).expect("read back")
+    }
+
+    #[test]
+    fn edge_values() {
+        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn encoded_length_is_compact() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 5).expect("write");
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 300).expect("write");
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        assert_eq!(write_u64(&mut buf, u64::MAX).expect("write"), MAX_LEN);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX)).expect("write");
+        let cut = &buf[..buf.len() - 1];
+        assert!(read_u64(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        let bad = [0x80u8; 11];
+        assert!(read_u64(&mut &bad[..]).is_err());
+        // 10 bytes but with high bits that overflow 64.
+        let mut overflow = [0xffu8; 9].to_vec();
+        overflow.push(0x7f);
+        assert!(read_u64(&mut &overflow[..]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any(v: u64) {
+            prop_assert_eq!(roundtrip(v), v);
+        }
+    }
+}

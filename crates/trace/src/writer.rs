@@ -1,0 +1,130 @@
+//! Trace recording.
+
+use std::io::Write;
+
+use dcg_isa::{encode_word, Inst};
+
+use crate::error::TraceError;
+use crate::format::{needs_payload, Header, FLAG_SEQUENTIAL_PC};
+use crate::varint;
+
+/// Streams instructions into a trace file.
+///
+/// The format exploits sequential consistency: an instruction whose PC is
+/// its predecessor's successor (the overwhelmingly common case) stores no
+/// PC at all; packed operand words and addresses are varint-coded.
+///
+/// # Example
+///
+/// ```
+/// use dcg_isa::{Inst, OpClass};
+/// use dcg_trace::{TraceReader, TraceWriter};
+///
+/// # fn main() -> Result<(), dcg_trace::TraceError> {
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf, "tiny")?;
+/// w.write_inst(&Inst::alu(0x1000, OpClass::IntAlu))?;
+/// w.finish()?;
+/// let mut r = TraceReader::new(&buf[..])?;
+/// assert_eq!(r.header().name, "tiny");
+/// assert_eq!(r.read_inst()?.unwrap().pc, 0x1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    next_pc: Option<u64>,
+    written: u64,
+    bytes: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Write a trace header to `sink` for benchmark `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a name longer than the format allows.
+    pub fn new(mut sink: W, name: &str) -> Result<TraceWriter<W>, TraceError> {
+        let header = Header::new(name)?;
+        let bytes = header.write_to(&mut sink)?;
+        Ok(TraceWriter {
+            sink,
+            next_pc: None,
+            written: 0,
+            bytes: bytes as u64,
+        })
+    }
+
+    /// Append one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not well-formed (same contract as
+    /// [`dcg_isa::encode_word`]).
+    pub fn write_inst(&mut self, inst: &Inst) -> Result<(), TraceError> {
+        let [pc, w1, w2] = encode_word(inst);
+        let sequential = self.next_pc == Some(pc);
+        let tag: u8 = if sequential { FLAG_SEQUENTIAL_PC } else { 0 };
+        self.sink.write_all(&[tag])?;
+        self.bytes += 1;
+        self.bytes += varint::write_u64(&mut self.sink, w1)? as u64;
+        if !sequential {
+            self.bytes += varint::write_u64(&mut self.sink, pc)? as u64;
+        }
+        if needs_payload(w1) {
+            self.bytes += varint::write_u64(&mut self.sink, w2)? as u64;
+        }
+        self.next_pc = Some(inst.successor_pc());
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Instructions written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Bytes emitted so far (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flush and return the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcg_isa::OpClass;
+
+    #[test]
+    fn sequential_instructions_omit_pcs() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, "t").expect("header");
+        let base = w.bytes();
+        w.write_inst(&Inst::alu(0x4000_0000, OpClass::IntAlu))
+            .expect("write");
+        let first = w.bytes() - base;
+        w.write_inst(&Inst::alu(0x4000_0004, OpClass::IntAlu))
+            .expect("write");
+        let second = w.bytes() - base - first;
+        assert!(
+            second < first,
+            "sequential record ({second} B) must beat the explicit-pc one ({first} B)"
+        );
+        assert_eq!(w.written(), 2);
+    }
+}

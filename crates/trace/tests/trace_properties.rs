@@ -1,0 +1,124 @@
+//! Property tests: the trace encoding is exact for arbitrary well-formed
+//! instruction sequences, and compact for realistic ones.
+
+use dcg_isa::{ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass};
+use dcg_trace::{TraceReader, TraceWriter};
+use dcg_workloads::{InstStream, Spec2000, SyntheticWorkload};
+use proptest::prelude::*;
+
+fn arb_inst(pc: u64) -> impl Strategy<Value = Inst> {
+    (
+        0usize..OpClass::COUNT,
+        proptest::option::of(0u8..64),
+        proptest::option::of(0u8..64),
+        proptest::option::of(0u8..64),
+        any::<u64>(),
+        any::<bool>(),
+        any::<u64>(),
+        0usize..4,
+    )
+        .prop_map(move |(op_idx, d, s0, s1, addr, taken, target, kind)| {
+            let op = OpClass::from_index(op_idx).expect("in range");
+            let reg = |o: Option<u8>| o.and_then(ArchReg::from_dense);
+            let kind = BranchKind::ALL[kind];
+            Inst {
+                pc,
+                op,
+                dest: if op.writes_result() { reg(d) } else { None },
+                srcs: [reg(s0), reg(s1)],
+                mem: op.is_mem().then(|| MemRef::new(addr & !7, 8)),
+                branch: (op == OpClass::Branch).then(|| BranchInfo {
+                    kind,
+                    taken: taken || kind.is_unconditional(),
+                    target: target & !3,
+                }),
+            }
+        })
+}
+
+/// A sequentially consistent random sequence: each instruction's PC is the
+/// previous one's successor.
+fn arb_sequence(len: usize) -> impl Strategy<Value = Vec<Inst>> {
+    proptest::collection::vec(arb_inst(0), len).prop_map(|mut insts| {
+        let mut pc = 0x1000u64;
+        for inst in &mut insts {
+            inst.pc = pc;
+            if let Some(b) = &mut inst.branch {
+                if !b.taken {
+                    // keep fall-through defined
+                }
+            }
+            pc = inst.successor_pc();
+        }
+        insts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_any_sequence(insts in arb_sequence(200)) {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, "prop").expect("header");
+        for i in &insts {
+            w.write_inst(i).expect("write");
+        }
+        w.finish().expect("finish");
+        let back = TraceReader::new(&buf[..]).expect("header").read_all().expect("decode");
+        prop_assert_eq!(back, insts);
+    }
+
+    #[test]
+    fn arbitrary_byte_tails_never_panic(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // A valid header followed by arbitrary bytes must decode to clean
+        // records then fail cleanly — never panic.
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf, "fuzz").expect("header");
+        buf.extend(garbage);
+        let mut r = match TraceReader::new(&buf[..]) {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        while let Ok(Some(_)) = r.read_inst() {}
+    }
+}
+
+#[test]
+fn synthetic_traces_are_compact() {
+    for name in ["gzip", "mcf", "swim"] {
+        let mut w = SyntheticWorkload::new(Spec2000::by_name(name).unwrap(), 7);
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::new(&mut buf, name).expect("header");
+        let n = 50_000;
+        for _ in 0..n {
+            writer.write_inst(&w.next_inst()).expect("write");
+        }
+        let bytes_per_inst = writer.bytes() as f64 / f64::from(n);
+        assert!(
+            bytes_per_inst < 10.0,
+            "{name}: {bytes_per_inst:.1} B/inst is not compact (raw is 24)"
+        );
+    }
+}
+
+#[test]
+fn recorded_workload_replays_identically() {
+    let profile = Spec2000::by_name("twolf").unwrap();
+    let mut original = SyntheticWorkload::new(profile, 3);
+    let mut buf = Vec::new();
+    let mut writer = TraceWriter::new(&mut buf, "twolf").expect("header");
+    let recorded: Vec<Inst> = (0..20_000).map(|_| original.next_inst()).collect();
+    for i in &recorded {
+        writer.write_inst(i).expect("write");
+    }
+    writer.finish().expect("finish");
+
+    let mut replay = TraceReader::new(&buf[..])
+        .expect("header")
+        .into_replay()
+        .expect("load");
+    for (k, want) in recorded.iter().enumerate() {
+        assert_eq!(replay.next_inst(), *want, "divergence at {k}");
+    }
+}

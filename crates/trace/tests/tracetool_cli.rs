@@ -1,0 +1,86 @@
+//! End-to-end tests of the `tracetool` command-line interface.
+
+use std::process::Command;
+
+fn tracetool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tracetool"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dcg_tracetool_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn record_info_verify_roundtrip() {
+    let path = temp_path("roundtrip.dcgtrc");
+    let out = tracetool()
+        .args(["record", "gzip", "5000"])
+        .arg(&path)
+        .arg("7")
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "record failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("recorded 5000 instructions"));
+
+    let out = tracetool().arg("info").arg(&path).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("benchmark: gzip"));
+    assert!(text.contains("records  : 5000"));
+
+    let out = tracetool()
+        .arg("verify")
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sequentially consistent"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_rejects_corruption() {
+    let path = temp_path("corrupt.dcgtrc");
+    let out = tracetool()
+        .args(["record", "mcf", "1000"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+
+    // Truncate mid-record.
+    let bytes = std::fs::read(&path).expect("read");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+    let out = tracetool()
+        .arg("verify")
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "truncated trace must fail verify");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_benchmark_fails_cleanly() {
+    let path = temp_path("never.dcgtrc");
+    let out = tracetool()
+        .args(["record", "doom3", "10"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn usage_on_missing_args() {
+    let out = tracetool().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

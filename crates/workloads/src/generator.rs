@@ -1,0 +1,825 @@
+//! The synthetic workload generator.
+//!
+//! Generation is two-phase:
+//!
+//! 1. **Static layout** — build a synthetic program: basic blocks at fixed
+//!    PCs, static register operands (dependences), a memory-access *site*
+//!    per static load/store (bound to a hot/warm/cold region with its own
+//!    walk pattern), and a branch *site behaviour* per block terminator
+//!    (loop back-edge, data-dependent biased branch, call, or return).
+//! 2. **Dynamic walk** — execute the layout, materialising effective
+//!    addresses, branch outcomes and PCs.
+//!
+//! The dynamic stream is *sequentially consistent*: the PC of instruction
+//! `k+1` always equals [`Inst::successor_pc`] of instruction `k`. The
+//! simulator's fetch stage relies on this to follow the correct path.
+
+use dcg_isa::{ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass, RegFileKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BenchmarkProfile, InstStream};
+
+/// Base virtual address of the synthetic code region.
+const CODE_BASE: u64 = 0x0000_1000;
+/// Base virtual addresses of the three data regions (disjoint by construction).
+const HOT_BASE: u64 = 0x1000_0000;
+const WARM_BASE: u64 = 0x2000_0000;
+const COLD_BASE: u64 = 0x4000_0000;
+
+/// Integer registers reserved as long-lived globals (base pointers,
+/// loop-invariant values). The remaining non-zero registers form the
+/// destination pool.
+const INT_GLOBALS: std::ops::Range<u8> = 0..6;
+const INT_POOL: std::ops::Range<u8> = 6..31;
+/// FP registers reserved as long-lived globals.
+const FP_GLOBALS: std::ops::Range<u8> = 28..31;
+const FP_POOL: std::ops::Range<u8> = 0..28;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Region {
+    Hot,
+    Warm,
+    Cold,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemSite {
+    region: Region,
+    /// Base offset of this site's private slice within the region.
+    base: u64,
+    /// Length of the site's slice: small for hot sites (tight reuse,
+    /// L1-resident), medium for warm sites (L2-resident), the whole region
+    /// for cold/chasing sites (no reuse before eviction).
+    span: u64,
+    /// Walk stride in bytes (line-sized for streaming regions).
+    stride: u64,
+    /// Pointer-chasing site: addresses are hashed (no spatial locality).
+    chase: bool,
+    /// Dense site index into the dynamic per-site counters.
+    counter_idx: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Terminator {
+    /// Loop back-edge to this block's own head; taken `trip - 1` times in a
+    /// row, then falls through.
+    LoopBack { trip: u32 },
+    /// Data-dependent branch: taken (to `taken_block`) with `taken_prob`.
+    Biased { taken_prob: f64, taken_block: usize },
+    /// Call to the function starting at `func_block`; the return resumes at
+    /// the next sequential block.
+    Call { func_block: usize },
+    /// Return to the dynamic call site (or to block 0 when the stack is
+    /// empty, which only happens if a walk starts inside a function).
+    Return,
+    /// Unconditional jump to `target_block`.
+    Jump { target_block: usize },
+}
+
+#[derive(Debug, Clone)]
+enum StaticInst {
+    Op {
+        class: OpClass,
+        dest: ArchReg,
+        srcs: [Option<ArchReg>; 2],
+    },
+    Load {
+        dest: ArchReg,
+        base: ArchReg,
+        site: MemSite,
+    },
+    Store {
+        data: ArchReg,
+        base: ArchReg,
+        site: MemSite,
+    },
+    Branch {
+        src: ArchReg,
+        term: Terminator,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    start_pc: u64,
+    insts: Vec<StaticInst>,
+}
+
+impl Block {
+    fn pc_of(&self, idx: usize) -> u64 {
+        self.start_pc + 4 * idx as u64
+    }
+}
+
+#[derive(Debug)]
+struct StaticCode {
+    blocks: Vec<Block>,
+    mem_sites: usize,
+}
+
+/// Deterministic synthetic instruction stream for one [`BenchmarkProfile`].
+///
+/// Two workloads constructed from the same `(profile, seed)` pair produce
+/// identical streams. See the [crate docs](crate) for the modelling
+/// rationale.
+#[derive(Debug)]
+pub struct SyntheticWorkload {
+    profile: BenchmarkProfile,
+    code: StaticCode,
+    rng: SmallRng,
+    // --- walk state ---
+    cur_block: usize,
+    cur_idx: usize,
+    call_stack: Vec<(usize, usize)>,
+    loop_counters: Vec<u32>,
+    site_counters: Vec<u64>,
+    emitted: u64,
+}
+
+impl SyntheticWorkload {
+    /// Build the static code layout for `profile` and position the walk at
+    /// its first instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile` fails [`BenchmarkProfile::validate`].
+    pub fn new(profile: BenchmarkProfile, seed: u64) -> SyntheticWorkload {
+        if let Err(e) = profile.validate() {
+            panic!("invalid profile {:?}: {e}", profile.name);
+        }
+        let mut build_rng = SmallRng::seed_from_u64(seed ^ 0xD1C6_0000_0000_0000);
+        let code = build_static_code(&profile, &mut build_rng);
+        let loop_counters = vec![0; code.blocks.len()];
+        let site_counters = vec![0; code.mem_sites];
+        SyntheticWorkload {
+            profile,
+            code,
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED),
+            cur_block: 0,
+            cur_idx: 0,
+            call_stack: Vec::with_capacity(8),
+            loop_counters,
+            site_counters,
+            emitted: 0,
+        }
+    }
+
+    /// The profile this workload was built from.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Total static instructions in the synthetic code layout.
+    pub fn static_code_size(&self) -> usize {
+        self.code.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Number of dynamic instructions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn site_address(&mut self, site: &MemSite) -> u64 {
+        let region_base = match site.region {
+            Region::Hot => HOT_BASE,
+            Region::Warm => WARM_BASE,
+            Region::Cold => COLD_BASE,
+        };
+        let count = self.site_counters[site.counter_idx];
+        self.site_counters[site.counter_idx] = count.wrapping_add(1);
+        let offset = if site.chase {
+            // Pointer chasing: pseudo-random permutation walk, 8-byte
+            // aligned, salted per site so chains do not collide.
+            let salt = (site.counter_idx as u64) << 40;
+            splitmix(count ^ salt) % (site.span / 8) * 8
+        } else {
+            (count * site.stride) % site.span
+        };
+        region_base + site.base + offset
+    }
+}
+
+/// Draw a per-site taken probability for a data-dependent branch.
+///
+/// Real branch sites are overwhelmingly *strongly* biased one way (that is
+/// why 2-level predictors reach ~95 % accuracy on SPEC); only a minority
+/// are genuinely data-dependent. `mean_taken` sets the fraction of sites
+/// preferring the taken direction.
+fn site_bias(rng: &mut SmallRng, mean_taken: f64) -> f64 {
+    let prefers_taken = rng.gen_bool(mean_taken);
+    let hard = rng.gen_bool(0.15);
+    match (hard, prefers_taken) {
+        (true, true) => 0.72,
+        (true, false) => 0.28,
+        (false, true) => 0.975,
+        (false, false) => 0.025,
+    }
+}
+
+/// SplitMix64 finaliser: cheap, deterministic address hashing.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl InstStream for SyntheticWorkload {
+    fn next_inst(&mut self) -> Inst {
+        let pc = self.code.blocks[self.cur_block].pc_of(self.cur_idx);
+        let sinst = self.code.blocks[self.cur_block].insts[self.cur_idx].clone();
+        let inst = match sinst {
+            StaticInst::Op { class, dest, srcs } => {
+                self.cur_idx += 1;
+                Inst::alu(pc, class).with_dest(dest).with_srcs(srcs)
+            }
+            StaticInst::Load { dest, base, site } => {
+                let addr = self.site_address(&site);
+                self.cur_idx += 1;
+                Inst::load(pc, MemRef::new(addr, 8))
+                    .with_dest(dest)
+                    .with_srcs([Some(base), None])
+            }
+            StaticInst::Store { data, base, site } => {
+                let addr = self.site_address(&site);
+                self.cur_idx += 1;
+                Inst::store(pc, MemRef::new(addr, 8)).with_srcs([Some(base), Some(data)])
+            }
+            StaticInst::Branch { src, term } => {
+                let (info, next_block, next_idx) = self.resolve_branch(pc, term);
+                self.cur_block = next_block;
+                self.cur_idx = next_idx;
+                Inst::branch(pc, info).with_srcs([Some(src), None])
+            }
+        };
+        debug_assert!(inst.is_well_formed());
+        self.emitted += 1;
+        inst
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+}
+
+impl SyntheticWorkload {
+    fn resolve_branch(&mut self, pc: u64, term: Terminator) -> (BranchInfo, usize, usize) {
+        let fallthrough = (self.cur_block + 1) % self.code.blocks.len();
+        match term {
+            Terminator::LoopBack { trip } => {
+                let counter = &mut self.loop_counters[self.cur_block];
+                *counter += 1;
+                let target_pc = self.code.blocks[self.cur_block].start_pc;
+                if *counter < trip {
+                    (BranchInfo::conditional(true, target_pc), self.cur_block, 0)
+                } else {
+                    *counter = 0;
+                    (BranchInfo::conditional(false, target_pc), fallthrough, 0)
+                }
+            }
+            Terminator::Biased {
+                taken_prob,
+                taken_block,
+            } => {
+                let taken = self.rng.gen_bool(taken_prob);
+                let target_pc = self.code.blocks[taken_block].start_pc;
+                if taken {
+                    (BranchInfo::conditional(true, target_pc), taken_block, 0)
+                } else {
+                    (BranchInfo::conditional(false, target_pc), fallthrough, 0)
+                }
+            }
+            Terminator::Call { func_block } => {
+                self.call_stack.push((fallthrough, 0));
+                let target_pc = self.code.blocks[func_block].start_pc;
+                (
+                    BranchInfo {
+                        kind: BranchKind::Call,
+                        taken: true,
+                        target: target_pc,
+                    },
+                    func_block,
+                    0,
+                )
+            }
+            Terminator::Return => {
+                let (ret_block, ret_idx) = self.call_stack.pop().unwrap_or((0, 0));
+                let target_pc = self.code.blocks[ret_block].pc_of(ret_idx);
+                (
+                    BranchInfo {
+                        kind: BranchKind::Return,
+                        taken: true,
+                        target: target_pc,
+                    },
+                    ret_block,
+                    ret_idx,
+                )
+            }
+            Terminator::Jump { target_block } => {
+                let target_pc = self.code.blocks[target_block].start_pc;
+                let _ = pc;
+                (
+                    BranchInfo {
+                        kind: BranchKind::Jump,
+                        taken: true,
+                        target: target_pc,
+                    },
+                    target_block,
+                    0,
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static layout construction
+// ---------------------------------------------------------------------------
+
+/// Tracks recently written registers during static construction so sources
+/// can be wired to producers at a controlled distance.
+struct WriterHistory {
+    int: Vec<ArchReg>,
+    fp: Vec<ArchReg>,
+}
+
+impl WriterHistory {
+    fn new() -> WriterHistory {
+        WriterHistory {
+            int: Vec::new(),
+            fp: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, reg: ArchReg) {
+        match reg.file() {
+            RegFileKind::Int => self.int.push(reg),
+            RegFileKind::Fp => self.fp.push(reg),
+        }
+    }
+
+    fn recent(&self, file: RegFileKind, back: usize) -> Option<ArchReg> {
+        let v = match file {
+            RegFileKind::Int => &self.int,
+            RegFileKind::Fp => &self.fp,
+        };
+        if v.is_empty() {
+            None
+        } else {
+            let idx = v.len().saturating_sub(back.max(1));
+            v.get(idx).copied()
+        }
+    }
+
+    fn last_load_dest(&self, file: RegFileKind) -> Option<ArchReg> {
+        self.recent(file, 1)
+    }
+}
+
+struct Builder<'a> {
+    profile: &'a BenchmarkProfile,
+    rng: &'a mut SmallRng,
+    next_int_dest: u8,
+    next_fp_dest: u8,
+    mem_sites: usize,
+    /// Execution-frequency weight already assigned per region (hot, warm,
+    /// cold) — see [`Builder::pick_region`].
+    region_weights: [f64; 3],
+}
+
+impl Builder<'_> {
+    fn global(&mut self, file: RegFileKind) -> ArchReg {
+        match file {
+            RegFileKind::Int => {
+                ArchReg::int(self.rng.gen_range(INT_GLOBALS.start..INT_GLOBALS.end))
+            }
+            RegFileKind::Fp => ArchReg::fp(self.rng.gen_range(FP_GLOBALS.start..FP_GLOBALS.end)),
+        }
+    }
+
+    fn next_dest(&mut self, file: RegFileKind) -> ArchReg {
+        match file {
+            RegFileKind::Int => {
+                let r = ArchReg::int(self.next_int_dest);
+                self.next_int_dest += 1;
+                if self.next_int_dest >= INT_POOL.end {
+                    self.next_int_dest = INT_POOL.start;
+                }
+                r
+            }
+            RegFileKind::Fp => {
+                let r = ArchReg::fp(self.next_fp_dest);
+                self.next_fp_dest += 1;
+                if self.next_fp_dest >= FP_POOL.end {
+                    self.next_fp_dest = FP_POOL.start;
+                }
+                r
+            }
+        }
+    }
+
+    /// Choose a source register of `file`, honouring the dependence model.
+    fn pick_src(&mut self, history: &WriterHistory, file: RegFileKind) -> ArchReg {
+        if self.rng.gen_bool(self.profile.deps.long_range_fraction) {
+            return self.global(file);
+        }
+        // Geometric distance with the configured mean (>= 1).
+        let p = 1.0 / self.profile.deps.mean_distance;
+        let mut d = 1usize;
+        while !self.rng.gen_bool(p) && d < 64 {
+            d += 1;
+        }
+        history.recent(file, d).unwrap_or_else(|| self.global(file))
+    }
+
+    /// Source register for a branch condition. Branch conditions are
+    /// usually induction variables or other early-resolving values (loop
+    /// bounds), so they mostly read long-lived globals; only a minority
+    /// test freshly computed data.
+    fn pick_branch_src(&mut self, history: &WriterHistory) -> ArchReg {
+        if self.rng.gen_bool(0.6) {
+            self.global(RegFileKind::Int)
+        } else {
+            self.pick_src(history, RegFileKind::Int)
+        }
+    }
+
+    fn new_mem_site(&mut self, region: Region, chase: bool) -> MemSite {
+        let idx = self.mem_sites;
+        self.mem_sites += 1;
+        let region_bytes = match region {
+            Region::Hot => self.profile.memory.hot_bytes,
+            Region::Warm => self.profile.memory.warm_bytes,
+            Region::Cold => self.profile.memory.cold_bytes,
+        };
+        // Per-site slice sizing controls the reuse distance and therefore
+        // which level the site's data stays resident in:
+        // hot = small, dense walk (L1-resident); warm = larger than an L1
+        // share but L2-resident; cold/chase = the whole region (no reuse
+        // before eviction: every pass misses to memory).
+        let (stride, span) = match region {
+            // Hot: a few cache lines with rapid wraparound -> temporal
+            // reuse keeps the slice L1-resident (accumulators, small
+            // arrays).
+            Region::Hot => (8u64, 256.min(region_bytes)),
+            // Warm/cold walk sequentially through doubles: four accesses
+            // share each 32-byte line (spatial locality of real array
+            // code), so one access in four misses.
+            Region::Warm => (8, (128 << 10).min(region_bytes)),
+            Region::Cold => (8, region_bytes),
+        };
+        let (base, span) = if chase || span >= region_bytes {
+            (0, region_bytes)
+        } else {
+            let slots = (region_bytes - span) / 8;
+            (self.rng.gen_range(0..=slots) * 8, span)
+        };
+        MemSite {
+            region,
+            base,
+            span,
+            stride,
+            chase,
+            counter_idx: idx,
+        }
+    }
+
+    /// Assign a memory site to a region so that the *dynamic* (execution
+    /// frequency weighted) access fractions track the profile's
+    /// `p_hot`/`p_warm` targets. A greedy deficit rule is used instead of
+    /// random sampling because loop-resident sites execute `trip`× more
+    /// often than straight-line sites; unweighted sampling would make the
+    /// realised miss rate depend wildly on where the cold sites happen to
+    /// land.
+    fn pick_region(&mut self, weight: f64) -> Region {
+        let m = &self.profile.memory;
+        let targets = [m.p_hot, m.p_warm, (1.0 - m.p_hot - m.p_warm).max(0.0)];
+        let total: f64 = self.region_weights.iter().sum::<f64>() + weight;
+        let mut best = 0usize;
+        let mut best_deficit = f64::MIN;
+        for (r, &target) in targets.iter().enumerate() {
+            if target <= 0.0 {
+                continue;
+            }
+            let deficit = target - self.region_weights[r] / total;
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = r;
+            }
+        }
+        self.region_weights[best] += weight;
+        [Region::Hot, Region::Warm, Region::Cold][best]
+    }
+
+    /// Destination register file for a load in this profile: FP benchmarks
+    /// load FP data about as often as their FP fraction suggests.
+    fn load_dest_file(&mut self) -> RegFileKind {
+        let fp_ratio = self.profile.mix.fp_fraction() * 2.0;
+        if fp_ratio > 0.0 && self.rng.gen_bool(fp_ratio.min(0.6)) {
+            RegFileKind::Fp
+        } else {
+            RegFileKind::Int
+        }
+    }
+}
+
+fn op_file(class: OpClass) -> RegFileKind {
+    if class.is_fp() {
+        RegFileKind::Fp
+    } else {
+        RegFileKind::Int
+    }
+}
+
+fn build_static_code(profile: &BenchmarkProfile, rng: &mut SmallRng) -> StaticCode {
+    let mut b = Builder {
+        profile,
+        rng,
+        next_int_dest: INT_POOL.start,
+        next_fp_dest: FP_POOL.start,
+        mem_sites: 0,
+        region_weights: [0.0; 3],
+    };
+
+    let total_blocks = profile.code_blocks;
+    // Functions take ~1/4 of blocks when calls are modelled, 3 blocks each.
+    let func_count = if profile.branches.call_fraction > 0.0 {
+        (total_blocks / 12).max(1)
+    } else {
+        0
+    };
+    let func_blocks = func_count * 3;
+    let main_blocks = total_blocks.saturating_sub(func_blocks).max(2);
+
+    let avg_body = (profile.avg_block_len() - 1.0).max(1.0);
+    let mut blocks = Vec::with_capacity(main_blocks + func_blocks);
+    let mut next_pc = CODE_BASE;
+
+    // Closure-free helper: builds the body of one block.
+    let build_body =
+        |b: &mut Builder<'_>, body_len: usize, weight: f64| -> (Vec<StaticInst>, WriterHistory) {
+            let mut insts = Vec::with_capacity(body_len + 1);
+            let mut history = WriterHistory::new();
+            for _ in 0..body_len {
+                let u: f64 = b.rng.gen();
+                let class = b.profile.mix.sample_non_branch(u);
+                match class {
+                    OpClass::Load => {
+                        let region = b.pick_region(weight);
+                        let chase = b.rng.gen_bool(b.profile.memory.pointer_chase);
+                        let base = if chase {
+                            // Address depends on a previously loaded value.
+                            history
+                                .last_load_dest(RegFileKind::Int)
+                                .unwrap_or_else(|| b.global(RegFileKind::Int))
+                        } else {
+                            b.global(RegFileKind::Int)
+                        };
+                        let site = b.new_mem_site(region, chase);
+                        let dest_file = b.load_dest_file();
+                        let dest = b.next_dest(dest_file);
+                        insts.push(StaticInst::Load { dest, base, site });
+                        history.record(dest);
+                    }
+                    OpClass::Store => {
+                        let region = b.pick_region(weight);
+                        let site = b.new_mem_site(region, false);
+                        let base = b.global(RegFileKind::Int);
+                        let data_file = if b.profile.mix.fp_fraction() > 0.0 && b.rng.gen_bool(0.4)
+                        {
+                            RegFileKind::Fp
+                        } else {
+                            RegFileKind::Int
+                        };
+                        let data = b.pick_src(&history, data_file);
+                        insts.push(StaticInst::Store { data, base, site });
+                    }
+                    class => {
+                        let file = op_file(class);
+                        let dest = b.next_dest(file);
+                        let s0 = b.pick_src(&history, file);
+                        let s1 = if b.rng.gen_bool(0.7) {
+                            Some(b.pick_src(&history, file))
+                        } else {
+                            None
+                        };
+                        insts.push(StaticInst::Op {
+                            class,
+                            dest,
+                            srcs: [Some(s0), s1],
+                        });
+                        history.record(dest);
+                    }
+                }
+            }
+            (insts, history)
+        };
+
+    // Helper to sample a body length around the profile average (>= 1).
+    fn sample_body_len(rng: &mut SmallRng, avg: f64) -> usize {
+        let lo = (avg * 0.5).max(1.0) as usize;
+        let hi = (avg * 1.5).max(2.0) as usize;
+        rng.gen_range(lo..=hi)
+    }
+
+    // --- main region ---
+    // Terminators are chosen before bodies so that a block's execution
+    // weight (its loop trip count) can steer region assignment.
+    for i in 0..main_blocks {
+        let term = if i + 1 == main_blocks {
+            Terminator::Jump { target_block: 0 }
+        } else {
+            let u: f64 = b.rng.gen();
+            let br = &profile.branches;
+            if u < br.loop_fraction {
+                let lo = (br.avg_trip / 2).max(2);
+                let hi = (br.avg_trip * 3 / 2).max(3);
+                Terminator::LoopBack {
+                    trip: b.rng.gen_range(lo..=hi),
+                }
+            } else if u < br.loop_fraction + br.call_fraction && func_count > 0 {
+                let f = b.rng.gen_range(0..func_count);
+                Terminator::Call {
+                    func_block: main_blocks + f * 3,
+                }
+            } else {
+                // Taken path skips the next block (stays in the main region).
+                let taken_block = if i + 2 < main_blocks { i + 2 } else { 0 };
+                Terminator::Biased {
+                    taken_prob: site_bias(b.rng, br.biased_taken_prob),
+                    taken_block,
+                }
+            }
+        };
+        let weight = match term {
+            Terminator::LoopBack { trip } => f64::from(trip),
+            _ => 1.0,
+        };
+        let body_len = sample_body_len(b.rng, avg_body);
+        let (mut insts, history) = build_body(&mut b, body_len, weight);
+        let src = b.pick_branch_src(&history);
+        insts.push(StaticInst::Branch { src, term });
+        let start_pc = next_pc;
+        next_pc += 4 * insts.len() as u64;
+        blocks.push(Block { start_pc, insts });
+    }
+
+    // --- functions: 3 blocks each, last block returns ---
+    for f in 0..func_count {
+        let first = main_blocks + f * 3;
+        for j in 0..3 {
+            let term = if j == 2 {
+                Terminator::Return
+            } else if b.rng.gen_bool(0.5) {
+                let lo = (profile.branches.avg_trip / 2).max(2);
+                let hi = (profile.branches.avg_trip * 3 / 2).max(3);
+                Terminator::LoopBack {
+                    trip: b.rng.gen_range(lo..=hi),
+                }
+            } else {
+                Terminator::Biased {
+                    taken_prob: site_bias(b.rng, profile.branches.biased_taken_prob),
+                    // Taken path goes straight to the return block.
+                    taken_block: first + 2,
+                }
+            };
+            let weight = match term {
+                Terminator::LoopBack { trip } => f64::from(trip),
+                _ => 1.0,
+            };
+            let body_len = sample_body_len(b.rng, avg_body);
+            let (mut insts, history) = build_body(&mut b, body_len, weight);
+            let src = b.pick_branch_src(&history);
+            insts.push(StaticInst::Branch { src, term });
+            let start_pc = next_pc;
+            next_pc += 4 * insts.len() as u64;
+            blocks.push(Block { start_pc, insts });
+        }
+    }
+
+    StaticCode {
+        blocks,
+        mem_sites: b.mem_sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Spec2000;
+
+    fn workload(name: &str, seed: u64) -> SyntheticWorkload {
+        SyntheticWorkload::new(Spec2000::by_name(name).expect("benchmark exists"), seed)
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = workload("gcc", 7);
+        let mut b = workload("gcc", 7);
+        for _ in 0..5_000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+        assert_eq!(a.emitted(), 5_000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = workload("gcc", 1);
+        let mut b = workload("gcc", 2);
+        let same = (0..1000).filter(|_| a.next_inst() == b.next_inst()).count();
+        assert!(same < 1000, "streams with different seeds must diverge");
+    }
+
+    #[test]
+    fn stream_is_sequentially_consistent() {
+        let mut w = workload("vortex", 3);
+        let mut prev = w.next_inst();
+        for _ in 0..20_000 {
+            let next = w.next_inst();
+            assert_eq!(
+                next.pc,
+                prev.successor_pc(),
+                "instruction at {:#x} must follow {:#x}",
+                next.pc,
+                prev.pc
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn all_instructions_well_formed() {
+        let mut w = workload("equake", 11);
+        for _ in 0..20_000 {
+            assert!(w.next_inst().is_well_formed());
+        }
+    }
+
+    #[test]
+    fn mix_tracks_profile() {
+        let profile = Spec2000::by_name("swim").expect("exists");
+        let mut w = SyntheticWorkload::new(profile, 5);
+        let n = 100_000;
+        let mut counts = [0usize; OpClass::COUNT];
+        for _ in 0..n {
+            counts[w.next_inst().op.index()] += 1;
+        }
+        for op in OpClass::ALL {
+            let got = counts[op.index()] as f64 / n as f64;
+            let want = profile.mix.fraction(op);
+            assert!(
+                (got - want).abs() < 0.05,
+                "{op}: profile says {want:.3}, stream delivered {got:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_their_regions() {
+        let mut w = workload("mcf", 9);
+        for _ in 0..50_000 {
+            let inst = w.next_inst();
+            if let Some(mem) = inst.mem {
+                let p = w.profile();
+                let in_hot = (HOT_BASE..HOT_BASE + p.memory.hot_bytes).contains(&mem.addr);
+                let in_warm = (WARM_BASE..WARM_BASE + p.memory.warm_bytes).contains(&mem.addr);
+                let in_cold = (COLD_BASE..COLD_BASE + p.memory.cold_bytes).contains(&mem.addr);
+                assert!(
+                    in_hot || in_warm || in_cold,
+                    "address {:#x} escapes all regions",
+                    mem.addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn code_footprint_is_bounded() {
+        let w = workload("gzip", 1);
+        let approx = w.profile().code_blocks as f64 * w.profile().avg_block_len() * 1.6;
+        assert!(
+            (w.static_code_size() as f64) < approx,
+            "static code unexpectedly large: {}",
+            w.static_code_size()
+        );
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let mut w = workload("perlbmk", 13);
+        let mut depth: i64 = 0;
+        for _ in 0..50_000 {
+            let inst = w.next_inst();
+            if let Some(b) = inst.branch {
+                match b.kind {
+                    BranchKind::Call => depth += 1,
+                    BranchKind::Return => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "return without call");
+                assert!(depth <= 64, "unbounded call depth");
+            }
+        }
+    }
+}

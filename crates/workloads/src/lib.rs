@@ -1,0 +1,54 @@
+//! # dcg-workloads — synthetic SPEC2000-like instruction streams
+//!
+//! The paper evaluates DCG on pre-compiled Alpha SPEC2000 binaries with
+//! `ref` inputs (fast-forwarding 2 billion instructions and simulating
+//! 500 million). Those binaries and traces are not available here, so this
+//! crate substitutes **deterministic synthetic workload generators**: one
+//! [`BenchmarkProfile`] per SPEC2000 benchmark in the paper's subset,
+//! calibrated to the benchmark's published characteristics — instruction
+//! mix, branch predictability, memory footprint and locality, and
+//! instruction-level parallelism.
+//!
+//! The substitution preserves the paper's results because every quantity DCG
+//! depends on is a *utilization statistic* (execution-unit, cache-port,
+//! pipeline-latch and result-bus usage per cycle), and those statistics are
+//! functions of exactly the properties the profiles control.
+//!
+//! ## How generation works
+//!
+//! A [`SyntheticWorkload`] first builds a **static code layout** — basic
+//! blocks with fixed PCs, static register operands, per-site branch
+//! behaviour and per-site memory-access patterns — and then walks that
+//! layout to produce the dynamic stream. Static layout matters: it gives
+//! branch predictors real per-PC history to learn, gives the I-cache real
+//! locality, and makes register dependences recur the way compiled loops
+//! make them recur.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcg_workloads::{InstStream, Spec2000, SyntheticWorkload};
+//!
+//! let profile = Spec2000::by_name("mcf").expect("mcf is in the suite");
+//! let mut stream = SyntheticWorkload::new(profile, 42);
+//! let first = stream.next_inst();
+//! let mut again = SyntheticWorkload::new(profile, 42);
+//! assert_eq!(first, again.next_inst(), "generation is deterministic");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod analysis;
+mod generator;
+mod mix;
+mod profile;
+mod spec;
+mod stream;
+
+pub use analysis::StreamAnalysis;
+pub use generator::SyntheticWorkload;
+pub use mix::OpMix;
+pub use profile::{BenchmarkProfile, BranchModel, DepModel, MemoryModel, SuiteKind};
+pub use spec::Spec2000;
+pub use stream::{InstStream, ReplayStream};

@@ -1,0 +1,291 @@
+//! Benchmark profiles: the knobs that characterise a synthetic benchmark.
+
+use crate::OpMix;
+
+/// Which half of the SPEC2000 suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteKind {
+    /// SPECint2000.
+    Int,
+    /// SPECfp2000.
+    Fp,
+}
+
+impl SuiteKind {
+    /// Short lowercase label ("int" / "fp").
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteKind::Int => "int",
+            SuiteKind::Fp => "fp",
+        }
+    }
+}
+
+/// Branch-behaviour knobs.
+///
+/// Basic blocks end in a branch whose *site behaviour* is sampled at
+/// static-code-construction time:
+///
+/// * with probability `loop_fraction` the branch is a loop back-edge with a
+///   trip count drawn around `avg_trip` (taken `trip-1` times, then falls
+///   through) — highly predictable;
+/// * with probability `call_fraction` the branch is a call to a synthetic
+///   function whose last block returns — exercises the RAS;
+/// * otherwise the branch is data-dependent with per-execution taken
+///   probability `biased_taken_prob` — its predictability is governed by
+///   how close the bias is to 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchModel {
+    /// Fraction of branch sites that are loop back-edges.
+    pub loop_fraction: f64,
+    /// Average loop trip count for back-edge sites.
+    pub avg_trip: u32,
+    /// Taken probability for data-dependent branch sites.
+    pub biased_taken_prob: f64,
+    /// Fraction of branch sites that are call/return pairs.
+    pub call_fraction: f64,
+}
+
+impl BranchModel {
+    /// Validate field ranges; see [`BenchmarkProfile::validate`].
+    fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("loop_fraction", self.loop_fraction),
+            ("biased_taken_prob", self.biased_taken_prob),
+            ("call_fraction", self.call_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.loop_fraction + self.call_fraction > 1.0 {
+            return Err("loop_fraction + call_fraction must not exceed 1".into());
+        }
+        if self.avg_trip < 2 {
+            return Err(format!("avg_trip must be >= 2, got {}", self.avg_trip));
+        }
+        Ok(())
+    }
+}
+
+/// Memory-behaviour knobs.
+///
+/// Every static memory instruction is bound to one of three regions at
+/// construction time:
+///
+/// * **hot** — a small set that fits in the L1 D-cache (64 KB in Table 1);
+/// * **warm** — a set that fits in the L2 but not the L1;
+/// * **cold** — a streaming region far larger than the L2; accesses walk it
+///   with a cache-line-sized stride, so essentially every access misses all
+///   the way to memory.
+///
+/// `mcf` and `lucas` — the paper's stand-out benchmarks (§5.1: "stall
+/// frequently due to unusually high cache miss rates") — are modelled with
+/// large cold fractions plus (for `mcf`) pointer chasing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Bytes in the hot region (should fit L1).
+    pub hot_bytes: u64,
+    /// Bytes in the warm region (should fit L2, exceed L1).
+    pub warm_bytes: u64,
+    /// Bytes in the cold streaming region (should exceed L2).
+    pub cold_bytes: u64,
+    /// Probability a static memory instruction is bound to the hot region.
+    pub p_hot: f64,
+    /// Probability a static memory instruction is bound to the warm region
+    /// (the remainder goes to the cold region).
+    pub p_warm: f64,
+    /// Fraction of static loads whose *address* depends on the value loaded
+    /// by a nearby earlier load (pointer chasing — serialises execution).
+    pub pointer_chase: f64,
+}
+
+impl MemoryModel {
+    fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("p_hot", self.p_hot),
+            ("p_warm", self.p_warm),
+            ("pointer_chase", self.pointer_chase),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.p_hot + self.p_warm > 1.0 {
+            return Err("p_hot + p_warm must not exceed 1".into());
+        }
+        if self.hot_bytes == 0 || self.warm_bytes == 0 || self.cold_bytes == 0 {
+            return Err("memory regions must be non-empty".into());
+        }
+        Ok(())
+    }
+}
+
+/// Dependence (ILP) knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepModel {
+    /// Mean distance (in static instructions within a block) between a
+    /// consumer and the producer it reads; smaller means tighter dependence
+    /// chains and lower ILP.
+    pub mean_distance: f64,
+    /// Probability a source operand reads a long-lived "global" register
+    /// (loop-invariant value) instead of a recent producer — raises ILP.
+    pub long_range_fraction: f64,
+}
+
+impl DepModel {
+    fn validate(&self) -> Result<(), String> {
+        if !self.mean_distance.is_finite() || self.mean_distance < 1.0 {
+            return Err(format!(
+                "mean_distance must be >= 1, got {}",
+                self.mean_distance
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.long_range_fraction) {
+            return Err(format!(
+                "long_range_fraction must be in [0,1], got {}",
+                self.long_range_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Full characterisation of one synthetic benchmark.
+///
+/// See [`crate::Spec2000`] for the calibrated SPEC2000-subset instances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: &'static str,
+    /// Which suite the benchmark belongs to.
+    pub suite: SuiteKind,
+    /// Instruction-class mix.
+    pub mix: OpMix,
+    /// Branch-site behaviour.
+    pub branches: BranchModel,
+    /// Memory-region behaviour.
+    pub memory: MemoryModel,
+    /// Dependence/ILP behaviour.
+    pub deps: DepModel,
+    /// Number of static basic blocks in the synthetic code layout
+    /// (controls I-cache footprint and predictor table pressure).
+    pub code_blocks: usize,
+}
+
+impl BenchmarkProfile {
+    /// Validate every field range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint. The
+    /// [`SyntheticWorkload`](crate::SyntheticWorkload) constructor asserts
+    /// validity, so profiles from [`crate::Spec2000`] are always valid.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("name must be non-empty".into());
+        }
+        if self.code_blocks < 4 {
+            return Err(format!(
+                "code_blocks must be >= 4, got {}",
+                self.code_blocks
+            ));
+        }
+        if self.mix.branch_fraction() <= 0.0 || self.mix.branch_fraction() >= 0.5 {
+            return Err(format!(
+                "branch fraction must be in (0, 0.5), got {}",
+                self.mix.branch_fraction()
+            ));
+        }
+        self.branches.validate()?;
+        self.memory.validate()?;
+        self.deps.validate()
+    }
+
+    /// Average basic-block length implied by the branch fraction
+    /// (one branch terminates each block).
+    pub fn avg_block_len(&self) -> f64 {
+        1.0 / self.mix.branch_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_profile() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "test",
+            suite: SuiteKind::Int,
+            mix: OpMix::typical_integer(),
+            branches: BranchModel {
+                loop_fraction: 0.4,
+                avg_trip: 16,
+                biased_taken_prob: 0.6,
+                call_fraction: 0.1,
+            },
+            memory: MemoryModel {
+                hot_bytes: 16 << 10,
+                warm_bytes: 512 << 10,
+                cold_bytes: 64 << 20,
+                p_hot: 0.7,
+                p_warm: 0.2,
+                pointer_chase: 0.05,
+            },
+            deps: DepModel {
+                mean_distance: 4.0,
+                long_range_fraction: 0.3,
+            },
+            code_blocks: 64,
+        }
+    }
+
+    #[test]
+    fn base_profile_is_valid() {
+        base_profile().validate().expect("valid");
+        assert!(base_profile().avg_block_len() > 5.0);
+    }
+
+    #[test]
+    fn rejects_excess_loop_plus_call() {
+        let mut p = base_profile();
+        p.branches.loop_fraction = 0.8;
+        p.branches.call_fraction = 0.3;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_regions() {
+        let mut p = base_profile();
+        p.memory.p_hot = 0.9;
+        p.memory.p_warm = 0.2;
+        assert!(p.validate().is_err());
+
+        let mut p = base_profile();
+        p.memory.cold_bytes = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_deps() {
+        let mut p = base_profile();
+        p.deps.mean_distance = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = base_profile();
+        p.deps.long_range_fraction = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_code() {
+        let mut p = base_profile();
+        p.code_blocks = 2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(SuiteKind::Int.label(), "int");
+        assert_eq!(SuiteKind::Fp.label(), "fp");
+    }
+}

@@ -1,0 +1,142 @@
+//! The instruction-stream abstraction consumed by the simulator front end.
+
+use dcg_isa::Inst;
+
+/// An unbounded source of dynamic instructions.
+///
+/// The simulator's fetch stage pulls from an `InstStream`; streams never
+/// end (experiments decide how many instructions to *commit*). Implementors
+/// must be deterministic for reproducibility: two streams constructed with
+/// identical parameters must yield identical sequences.
+pub trait InstStream {
+    /// Produce the next dynamic instruction in program order.
+    fn next_inst(&mut self) -> Inst;
+
+    /// Human-readable name of the workload (benchmark name for the SPEC2000
+    /// profiles).
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+
+    /// Collect the next `n` instructions into a vector (testing helper).
+    fn collect_n(&mut self, n: usize) -> Vec<Inst>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.next_inst()).collect()
+    }
+}
+
+impl<S: InstStream + ?Sized> InstStream for &mut S {
+    fn next_inst(&mut self) -> Inst {
+        (**self).next_inst()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<S: InstStream + ?Sized> InstStream for Box<S> {
+    fn next_inst(&mut self) -> Inst {
+        (**self).next_inst()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Replays a recorded instruction sequence, wrapping around at the end.
+///
+/// Useful for regression tests that need a precisely controlled stream.
+///
+/// # Example
+///
+/// ```
+/// use dcg_isa::{Inst, OpClass};
+/// use dcg_workloads::{InstStream, ReplayStream};
+///
+/// let trace = vec![Inst::alu(0, OpClass::IntAlu), Inst::alu(4, OpClass::FpMul)];
+/// let mut stream = ReplayStream::new("tiny", trace.clone());
+/// assert_eq!(stream.next_inst(), trace[0]);
+/// assert_eq!(stream.next_inst(), trace[1]);
+/// assert_eq!(stream.next_inst(), trace[0], "wraps around");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayStream {
+    name: String,
+    trace: Vec<Inst>,
+    pos: usize,
+}
+
+impl ReplayStream {
+    /// Create a replay stream over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty (streams are unbounded, so there must be
+    /// something to repeat).
+    pub fn new(name: impl Into<String>, trace: Vec<Inst>) -> ReplayStream {
+        assert!(!trace.is_empty(), "replay trace must not be empty");
+        ReplayStream {
+            name: name.into(),
+            trace,
+            pos: 0,
+        }
+    }
+
+    /// Number of instructions in one replay period.
+    pub fn period(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+impl InstStream for ReplayStream {
+    fn next_inst(&mut self) -> Inst {
+        let inst = self.trace[self.pos];
+        self.pos = (self.pos + 1) % self.trace.len();
+        inst
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcg_isa::OpClass;
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn replay_rejects_empty() {
+        let _ = ReplayStream::new("empty", Vec::new());
+    }
+
+    #[test]
+    fn replay_wraps() {
+        let trace: Vec<Inst> = (0..3).map(|i| Inst::alu(i * 4, OpClass::IntAlu)).collect();
+        let mut s = ReplayStream::new("t", trace.clone());
+        let got = s.collect_n(7);
+        assert_eq!(got[0..3], trace[..]);
+        assert_eq!(got[3..6], trace[..]);
+        assert_eq!(got[6], trace[0]);
+        assert_eq!(s.period(), 3);
+        assert_eq!(s.name(), "t");
+    }
+
+    #[test]
+    fn stream_usable_through_mut_ref_and_box() {
+        let trace = vec![Inst::alu(0, OpClass::IntAlu)];
+        let mut s = ReplayStream::new("t", trace.clone());
+        fn pull<S: InstStream>(mut s: S) -> Inst {
+            s.next_inst()
+        }
+        assert_eq!(pull(&mut s), trace[0]);
+        let boxed: Box<dyn InstStream> = Box::new(s);
+        let mut boxed = boxed;
+        assert_eq!(boxed.next_inst(), trace[0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Per-component power breakdown: where the base case spends its power and
+//! where DCG's savings come from (the paper's §5.2-§5.5 decomposition).
+//!
+//! ```text
+//! cargo run --release --example component_breakdown [benchmark]
+//! ```
+
+use dcg_repro::core::{run_passive, Dcg, NoGating, RunLength};
+use dcg_repro::power::Component;
+use dcg_repro::sim::{LatchGroups, SimConfig};
+use dcg_repro::workloads::{Spec2000, SyntheticWorkload};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
+    let profile = Spec2000::by_name(&bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench}");
+        std::process::exit(1);
+    });
+
+    let cfg = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut baseline = NoGating::new(&cfg, &groups);
+    let mut dcg = Dcg::new(&cfg, &groups);
+    println!("simulating {bench}...\n");
+    let run = run_passive(
+        &cfg,
+        SyntheticWorkload::new(profile, 42),
+        RunLength::standard(),
+        &mut [&mut baseline, &mut dcg],
+    );
+    let base = &run.outcomes[0].report;
+    let gated = &run.outcomes[1].report;
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>9}",
+        "component", "base %", "dcg %", "saving %"
+    );
+    for c in Component::ALL {
+        let saving = gated.component_saving_vs(base, c);
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>9.1}",
+            c.label(),
+            100.0 * base.share(c),
+            100.0 * gated.share(c),
+            100.0 * saving,
+        );
+    }
+    println!(
+        "\ntotal saving: {:.1} % of processor power",
+        100.0 * gated.power_saving_vs(base)
+    );
+    println!(
+        "(gated components: int/fp units, pipeline latches, D-cache \
+         decoders, result buses — per paper §2.2)"
+    );
+}

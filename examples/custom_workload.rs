@@ -1,0 +1,71 @@
+//! Bring your own workload: define a custom benchmark profile (here, a
+//! pointer-chasing, cache-hostile kernel) and measure how much DCG saves on
+//! it. Stall-heavy programs give DCG the most gating opportunity — exactly
+//! the paper's mcf/lucas observation.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use dcg_repro::core::{run_passive, Dcg, NoGating, RunLength};
+use dcg_repro::sim::{LatchGroups, SimConfig};
+use dcg_repro::workloads::{
+    BenchmarkProfile, BranchModel, DepModel, MemoryModel, OpMix, SuiteKind, SyntheticWorkload,
+};
+
+fn main() {
+    // A graph-walking kernel: nearly half the loads chase pointers across
+    // a 256 MB footprint, dependence chains are short-range, branches are
+    // data-dependent.
+    let profile = BenchmarkProfile {
+        name: "graphwalk",
+        suite: SuiteKind::Int,
+        mix: OpMix::from_parts(0.40, 0.01, 0.002, 0.0, 0.0, 0.0, 0.32, 0.088, 0.18),
+        branches: BranchModel {
+            loop_fraction: 0.25,
+            avg_trip: 6,
+            biased_taken_prob: 0.55,
+            call_fraction: 0.05,
+        },
+        memory: MemoryModel {
+            hot_bytes: 16 << 10,
+            warm_bytes: 2 << 20,
+            cold_bytes: 256 << 20,
+            p_hot: 0.40,
+            p_warm: 0.12,
+            pointer_chase: 0.50,
+        },
+        deps: DepModel {
+            mean_distance: 2.0,
+            long_range_fraction: 0.15,
+        },
+        code_blocks: 96,
+    };
+    profile.validate().expect("profile is well-formed");
+
+    let cfg = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut baseline = NoGating::new(&cfg, &groups);
+    let mut dcg = Dcg::new(&cfg, &groups);
+    println!("simulating the custom '{}' kernel...", profile.name);
+    let run = run_passive(
+        &cfg,
+        SyntheticWorkload::new(profile, 7),
+        RunLength::standard(),
+        &mut [&mut baseline, &mut dcg],
+    );
+    let saving = run.outcomes[1]
+        .report
+        .power_saving_vs(&run.outcomes[0].report);
+    println!("  IPC               : {:.2}", run.stats.ipc());
+    println!(
+        "  D-cache miss rate : {:.1} %",
+        100.0 * run.stats.dcache_miss_rate()
+    );
+    println!("  DCG power saving  : {:.1} %", 100.0 * saving);
+    println!(
+        "\nA stall-heavy kernel idles most blocks most cycles, so DCG's \
+         deterministic gating saves even more than the SPEC average — the \
+         paper's mcf/lucas effect."
+    );
+}

@@ -1,0 +1,75 @@
+//! Pedagogical cycle-by-cycle view of DCG's advance knowledge at work:
+//! prints, for a short window, what the issue stage granted and how the
+//! controller's gate decisions track actual usage a fixed number of cycles
+//! later — units at +2, D-cache decoders at +3, result buses at +2
+//! (paper Figures 5-6 and §3.3-§3.4).
+//!
+//! ```text
+//! cargo run --release --example gating_timeline
+//! ```
+
+use dcg_repro::core::{Dcg, GatingPolicy, NoGating};
+use dcg_repro::isa::FuClass;
+use dcg_repro::sim::{LatchGroups, Processor, SimConfig};
+use dcg_repro::workloads::{Spec2000, SyntheticWorkload};
+
+fn mask_str(mask: u32, width: usize) -> String {
+    (0..width)
+        .map(|i| if mask & (1 << i) != 0 { '#' } else { '.' })
+        .collect()
+}
+
+fn main() {
+    let cfg = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut cpu = Processor::new(
+        cfg.clone(),
+        SyntheticWorkload::new(Spec2000::by_name("bzip2").unwrap(), 42),
+    );
+    let mut dcg = Dcg::new(&cfg, &groups);
+    let _ = NoGating::new(&cfg, &groups); // the baseline would power everything
+
+    // Warm the pipeline so the window is representative.
+    for _ in 0..2_000 {
+        let act = cpu.step();
+        let _ = dcg.gate_for(act.cycle);
+        dcg.observe(act);
+    }
+
+    println!(
+        "cycle | grants(iALU@+2)      | gate iALU | used iALU | gate ports | used ports | buses g/u"
+    );
+    println!("{}", "-".repeat(96));
+    for _ in 0..24 {
+        let cycle = cpu.cycle() + 1;
+        let gate = dcg.gate_for(cycle);
+        let act = cpu.step().clone();
+        let grants: Vec<String> = act
+            .grants
+            .iter()
+            .filter(|g| g.class == FuClass::IntAlu)
+            .map(|g| format!("u{}", g.instance))
+            .collect();
+        println!(
+            "{:>5} | {:<20} | {:>9} | {:>9} | {:>10} | {:>10} | {}/{}",
+            act.cycle,
+            grants.join(","),
+            mask_str(gate.fu_powered[FuClass::IntAlu.index()], cfg.int_alus),
+            mask_str(act.fu_active[FuClass::IntAlu.index()], cfg.int_alus),
+            mask_str(gate.dcache_ports_powered, cfg.mem_ports),
+            mask_str(act.dcache_port_mask, cfg.mem_ports),
+            gate.result_buses_powered,
+            act.result_bus_used,
+        );
+        assert_eq!(
+            gate.fu_powered[FuClass::IntAlu.index()],
+            act.fu_active[FuClass::IntAlu.index()],
+            "DCG's unit gating is exact"
+        );
+        dcg.observe(&act);
+    }
+    println!(
+        "\nEvery 'gate' column equals the 'used' column in the same cycle — \
+         decided 2-3 cycles in advance from GRANT signals alone."
+    );
+}

@@ -1,0 +1,58 @@
+//! Record a workload to a trace file, replay it through the simulator, and
+//! verify the replay is cycle-identical to the live generator — the
+//! workflow production trace-driven simulators use to archive inputs.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [benchmark]
+//! ```
+
+use dcg_repro::sim::{Processor, SimConfig};
+use dcg_repro::trace::{TraceReader, TraceWriter};
+use dcg_repro::workloads::{InstStream, Spec2000, SyntheticWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
+    let profile = Spec2000::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench}"))?;
+    let n = 100_000u32;
+
+    // Record.
+    let mut workload = SyntheticWorkload::new(profile, 42);
+    let mut buf = Vec::new();
+    let mut writer = TraceWriter::new(&mut buf, &bench)?;
+    for _ in 0..n {
+        writer.write_inst(&workload.next_inst())?;
+    }
+    let bytes = writer.bytes();
+    writer.finish()?;
+    println!(
+        "recorded {n} instructions of {bench}: {bytes} bytes ({:.1} B/inst vs 24 raw)",
+        bytes as f64 / f64::from(n)
+    );
+
+    // Replay through the simulator and compare against the live generator.
+    let cfg = SimConfig::baseline_8wide();
+    let mut live = Processor::new(cfg.clone(), SyntheticWorkload::new(profile, 42));
+    live.run_until_commits(u64::from(n) / 2, |_| {});
+
+    let replay_stream = TraceReader::new(&buf[..])?.into_replay()?;
+    let mut replay = Processor::new(cfg, replay_stream);
+    replay.run_until_commits(u64::from(n) / 2, |_| {});
+
+    println!(
+        "live   : {} cycles, IPC {:.3}",
+        live.cycle(),
+        live.stats().ipc()
+    );
+    println!(
+        "replay : {} cycles, IPC {:.3}",
+        replay.cycle(),
+        replay.stats().ipc()
+    );
+    assert_eq!(
+        live.cycle(),
+        replay.cycle(),
+        "replay must be cycle-identical"
+    );
+    println!("replay is cycle-identical to the live generator.");
+    Ok(())
+}

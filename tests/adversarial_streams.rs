@@ -1,0 +1,142 @@
+//! Robustness: degenerate instruction streams must neither wedge the
+//! pipeline nor violate the DCG audit.
+
+use dcg_repro::core::{run_passive, Dcg, NoGating, RunLength};
+use dcg_repro::isa::{ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass};
+use dcg_repro::sim::{LatchGroups, Processor, SimConfig};
+use dcg_repro::workloads::ReplayStream;
+
+fn run_stream(trace: Vec<Inst>, commits: u64) -> f64 {
+    let mut cpu = Processor::new(
+        SimConfig::baseline_8wide(),
+        ReplayStream::new("adversarial", trace),
+    );
+    cpu.run_until_commits(commits, |_| {});
+    cpu.stats().ipc()
+}
+
+fn dcg_audit_clean(trace: Vec<Inst>, commits: u64) {
+    let cfg = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut baseline = NoGating::new(&cfg, &groups);
+    let mut dcg = Dcg::new(&cfg, &groups);
+    // run_passive panics on any audit violation.
+    let run = run_passive(
+        &cfg,
+        ReplayStream::new("adversarial", trace),
+        RunLength {
+            warmup_insts: commits / 4,
+            measure_insts: commits,
+        },
+        &mut [&mut baseline, &mut dcg],
+    );
+    assert_eq!(run.outcomes[1].audit.violations, 0);
+}
+
+/// Straight-line block with a wrap-around jump at the end.
+fn with_wrap(mut body: Vec<Inst>) -> Vec<Inst> {
+    let pc = 4 * body.len() as u64;
+    body.push(Inst::branch(
+        pc,
+        BranchInfo {
+            kind: BranchKind::Jump,
+            taken: true,
+            target: 0,
+        },
+    ));
+    body
+}
+
+#[test]
+fn all_divides() {
+    // Worst-case unpipelined contention: a wall of 20-cycle divides.
+    let body: Vec<Inst> = (0..16)
+        .map(|k| {
+            Inst::alu(4 * k, OpClass::IntDiv)
+                .with_dest(ArchReg::int(6 + (k % 20) as u8))
+                .with_srcs([Some(ArchReg::int(0)), None])
+        })
+        .collect();
+    let trace = with_wrap(body);
+    let ipc = run_stream(trace.clone(), 2_000);
+    assert!(ipc > 0.0 && ipc < 0.2);
+    dcg_audit_clean(trace, 2_000);
+}
+
+#[test]
+fn all_stores() {
+    // Stores produce no values and drain through commit-time port slots.
+    let body: Vec<Inst> = (0..32)
+        .map(|k| {
+            Inst::store(4 * k, MemRef::new(0x1_0000 + 8 * k, 8))
+                .with_srcs([Some(ArchReg::int(0)), Some(ArchReg::int(1))])
+        })
+        .collect();
+    let trace = with_wrap(body);
+    let ipc = run_stream(trace.clone(), 10_000);
+    // Two ports bound store throughput; commit scheduling costs a bit.
+    assert!(ipc > 0.5 && ipc <= 2.1, "store wall IPC {ipc:.2}");
+    dcg_audit_clean(trace, 10_000);
+}
+
+#[test]
+fn all_taken_branches() {
+    // Every instruction is a taken branch: fetch groups collapse to one
+    // instruction per cycle at best.
+    let trace: Vec<Inst> = (0..64)
+        .map(|k| {
+            let pc = 4 * k;
+            let target = (4 * (k + 1)) % 256;
+            Inst::branch(
+                pc,
+                BranchInfo {
+                    kind: BranchKind::Jump,
+                    taken: true,
+                    target,
+                },
+            )
+        })
+        .collect();
+    let ipc = run_stream(trace.clone(), 10_000);
+    assert!(ipc > 0.4 && ipc <= 1.05, "branch wall IPC {ipc:.2}");
+    dcg_audit_clean(trace, 10_000);
+}
+
+#[test]
+fn zero_register_sinks() {
+    // Writes to the zero register allocate no rename mapping; readers of
+    // never-written registers are always ready. Nothing may deadlock.
+    let body: Vec<Inst> = (0..16)
+        .map(|k| {
+            Inst::alu(4 * k, OpClass::IntAlu)
+                .with_dest(ArchReg::INT_ZERO)
+                .with_srcs([Some(ArchReg::int(17)), Some(ArchReg::INT_ZERO)])
+        })
+        .collect();
+    let trace = with_wrap(body);
+    let ipc = run_stream(trace.clone(), 20_000);
+    assert!(ipc > 3.0, "independent zero-sink ops should fly: {ipc:.2}");
+    dcg_audit_clean(trace, 20_000);
+}
+
+#[test]
+fn same_word_store_load_ping_pong() {
+    // Alternating store/load on one word: maximal forwarding pressure.
+    let mut body = Vec::new();
+    for k in 0..16u64 {
+        let base = 8 * k;
+        body.push(
+            Inst::store(base, MemRef::new(0x9000, 8))
+                .with_srcs([Some(ArchReg::int(0)), Some(ArchReg::int(1))]),
+        );
+        body.push(
+            Inst::load(base + 4, MemRef::new(0x9000, 8))
+                .with_dest(ArchReg::int(6 + (k % 20) as u8))
+                .with_srcs([Some(ArchReg::int(0)), None]),
+        );
+    }
+    let trace = with_wrap(body);
+    let ipc = run_stream(trace.clone(), 10_000);
+    assert!(ipc > 0.5, "forwarding ping-pong must progress: {ipc:.2}");
+    dcg_audit_clean(trace, 10_000);
+}

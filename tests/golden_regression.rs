@@ -1,0 +1,47 @@
+//! Golden regression: one fixed run pinned down to exact counts and
+//! energies.
+//!
+//! Everything in this workspace is deterministic — the workload generator,
+//! the pipeline, the bus arbiter, the gating controller and the energy
+//! table — so this run must reproduce *bit-identically* forever. Any
+//! intentional change to timing, calibration or generation will trip this
+//! test; update the constants deliberately (and re-run the EXPERIMENTS.md
+//! suite) when that happens.
+
+use dcg_repro::core::{run_passive, Dcg, NoGating, RunLength};
+use dcg_repro::sim::{LatchGroups, SimConfig};
+use dcg_repro::workloads::{Spec2000, SyntheticWorkload};
+
+#[test]
+fn bzip2_seed42_is_bit_stable() {
+    let cfg = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut base = NoGating::new(&cfg, &groups);
+    let mut dcg = Dcg::new(&cfg, &groups);
+    let run = run_passive(
+        &cfg,
+        SyntheticWorkload::new(Spec2000::by_name("bzip2").unwrap(), 42),
+        RunLength {
+            warmup_insts: 10_000,
+            measure_insts: 50_000,
+        },
+        &mut [&mut base, &mut dcg],
+    );
+
+    assert_eq!(run.stats.cycles, 21_798);
+    assert_eq!(run.stats.committed, 50_003);
+    assert_eq!(run.stats.issued, 50_052);
+    assert_eq!(run.stats.dcache_misses, 947);
+    assert_eq!(run.stats.mispredicts, 487);
+
+    let base_pj = run.outcomes[0].report.total_pj();
+    let dcg_pj = run.outcomes[1].report.total_pj();
+    assert!(
+        (base_pj - 889_525_073.920).abs() < 1.0,
+        "baseline energy drifted: {base_pj:.3}"
+    );
+    assert!(
+        (dcg_pj - 690_933_006.080).abs() < 1.0,
+        "DCG energy drifted: {dcg_pj:.3}"
+    );
+}
