@@ -1,6 +1,5 @@
 //! Regenerates the paper's Figure 10 (see dcg-experiments::fig10).
 
 fn main() {
-    let suite = dcg_bench::bench_suite(true);
-    dcg_bench::emit(&dcg_experiments::fig10(&suite));
+    dcg_bench::run_fig10_total_power();
 }

@@ -2,5 +2,5 @@
 
 fn main() {
     let suite = dcg_bench::bench_suite(true);
-    dcg_bench::emit(&dcg_experiments::fig11(&suite));
+    dcg_bench::emit_timed(&dcg_experiments::fig11(&suite), &suite);
 }

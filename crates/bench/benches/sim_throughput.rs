@@ -1,90 +1,8 @@
-//! Criterion micro-benchmarks of the simulator substrate itself:
-//! end-to-end cycles/second plus the hot component models.
+//! Micro-benchmarks of the simulator substrate itself: end-to-end
+//! cycles/second plus the hot component models, on the testkit harness.
+//! Emits `crates/bench/results/sim_throughput.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dcg_sim::{
-    BpredConfig, BranchPredictor, CacheConfig, CacheHierarchy, PredictorKind, Processor, SimConfig,
-};
-use dcg_workloads::{InstStream, Spec2000, SyntheticWorkload};
-
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("commit_10k_insts_gzip", |b| {
-        let cfg = SimConfig::baseline_8wide();
-        let mut cpu = Processor::new(
-            cfg,
-            SyntheticWorkload::new(Spec2000::by_name("gzip").unwrap(), 1),
-        );
-        cpu.run_until_commits(20_000, |_| {}); // warm structures
-        b.iter(|| {
-            cpu.run_until_commits(10_000, |_| {});
-        });
-    });
-    g.finish();
+fn main() {
+    let path = dcg_bench::run_sim_throughput().expect("write bench JSON");
+    eprintln!("wrote {}", path.display());
 }
-
-fn bench_workload_gen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("generate_10k_insts_gcc", |b| {
-        let mut w = SyntheticWorkload::new(Spec2000::by_name("gcc").unwrap(), 1);
-        b.iter(|| {
-            for _ in 0..10_000 {
-                std::hint::black_box(w.next_inst());
-            }
-        });
-    });
-    g.finish();
-}
-
-fn bench_components(c: &mut Criterion) {
-    let mut g = c.benchmark_group("components");
-    g.bench_function("bpred_lookup_update", |b| {
-        let mut p = BranchPredictor::new(&BpredConfig {
-            kind: PredictorKind::TwoLevel,
-            pht_entries: 8192,
-            history_bits: 13,
-            btb_entries: 8192,
-            btb_ways: 4,
-            ras_entries: 32,
-        });
-        let mut pc = 0u64;
-        b.iter(|| {
-            pc = pc.wrapping_add(4096);
-            std::hint::black_box(p.predict_and_update(
-                pc & 0xffff,
-                dcg_isa::BranchInfo::conditional(pc & 8 == 0, pc ^ 0x40),
-            ));
-        });
-    });
-    g.bench_function("cache_hierarchy_access", |b| {
-        let l1 = CacheConfig {
-            size_bytes: 64 << 10,
-            ways: 2,
-            line_bytes: 32,
-            latency: 2,
-        };
-        let l2 = CacheConfig {
-            size_bytes: 2 << 20,
-            ways: 8,
-            line_bytes: 64,
-            latency: 12,
-        };
-        let mut h = CacheHierarchy::new(l1, l2, 100);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1;
-            std::hint::black_box(h.access((t * 40) & 0xf_ffff, t));
-        });
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_pipeline,
-    bench_workload_gen,
-    bench_components
-);
-criterion_main!(benches);

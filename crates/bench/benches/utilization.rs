@@ -4,5 +4,5 @@
 fn main() {
     let cfg = dcg_bench::bench_config();
     let suite = dcg_bench::bench_suite(false);
-    dcg_bench::emit(&dcg_experiments::utilization(&suite, &cfg.sim));
+    dcg_bench::emit_timed(&dcg_experiments::utilization(&suite, &cfg.sim), &suite);
 }

@@ -1,0 +1,39 @@
+//! Run a named bench harness outside the `cargo bench` profile, emitting
+//! its machine-readable JSON under `crates/bench/results/`.
+//!
+//! ```text
+//! cargo run --release -p dcg-bench --bin bench_runner -- sim_throughput
+//! cargo run --release -p dcg-bench --bin bench_runner -- fig10_total_power
+//! ```
+//!
+//! `DCG_BENCH_QUICK=1` shrinks the figure suites; `DCG_BENCH_SAMPLES` /
+//! `DCG_BENCH_WARMUP` tune the micro-bench harness.
+
+use std::process::ExitCode;
+
+const KNOWN: &[&str] = &["sim_throughput", "fig10_total_power"];
+
+fn main() -> ExitCode {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    if names.is_empty() || names.iter().any(|n| n == "--help" || n == "-h") {
+        eprintln!(
+            "usage: bench_runner <name>...\nknown names: {}",
+            KNOWN.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    for name in &names {
+        match name.as_str() {
+            "sim_throughput" => {
+                let path = dcg_bench::run_sim_throughput().expect("write bench JSON");
+                eprintln!("wrote {}", path.display());
+            }
+            "fig10_total_power" => dcg_bench::run_fig10_total_power(),
+            other => {
+                eprintln!("unknown bench '{other}'; known names: {}", KNOWN.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

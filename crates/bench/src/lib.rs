@@ -3,14 +3,21 @@
 //! Each `[[bench]]` target with `harness = false` regenerates one of the
 //! paper's tables/figures: it runs the experiment at full scale, prints
 //! the same rows/series the paper reports (with the paper's numbers as
-//! notes), and writes a CSV under `results/`.
+//! notes), writes a CSV under the workspace `results/`, and a
+//! machine-readable JSON document under `crates/bench/results/`
+//! (micro-bench timings land in the same directory via
+//! [`dcg_testkit::bench::Harness`]).
 //!
 //! Scale note: `cargo bench` runs the full 18-benchmark suite per figure;
 //! set `DCG_BENCH_QUICK=1` to use the reduced smoke-test configuration.
+//! The `bench_runner` binary (`cargo run -p dcg-bench --bin bench_runner
+//! -- <name>`) runs the same harnesses outside the bench profile.
 
 use std::path::PathBuf;
 
 use dcg_experiments::{ExperimentConfig, FigureTable, Suite};
+use dcg_testkit::bench::Harness;
+use dcg_testkit::json::Json;
 
 /// The experiment configuration for benches (`DCG_BENCH_QUICK=1` shrinks
 /// it).
@@ -30,22 +37,221 @@ pub fn bench_suite(with_plb: bool) -> Suite {
         cfg.benchmarks.len(),
         if with_plb { " (with PLB runs)" } else { "" }
     );
-    Suite::run(&cfg, with_plb)
+    let suite = Suite::run(&cfg, with_plb);
+    eprintln!("suite finished in {:.2} s wall", suite.wall_ns as f64 / 1e9);
+    suite
 }
 
-/// Print a figure table and persist its CSV under the workspace-root
-/// `results/` directory (anchored so the destination does not depend on
-/// the invocation directory).
-pub fn emit(table: &FigureTable) {
-    println!("{table}");
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+/// Workspace root, anchored on this crate's manifest so destinations do
+/// not depend on the invocation directory.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("workspace root exists")
-        .to_path_buf();
-    let path = root.join("results").join(format!("{}.csv", table.id));
+        .to_path_buf()
+}
+
+/// Directory receiving the machine-readable JSON bench results.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+/// A [`FigureTable`] as a JSON document.
+pub fn table_json(table: &FigureTable) -> Json {
+    Json::obj([
+        ("id", Json::str(&table.id)),
+        ("title", Json::str(&table.title)),
+        (
+            "columns",
+            Json::arr(table.columns.iter().map(Json::str).collect()),
+        ),
+        (
+            "rows",
+            Json::arr(
+                table
+                    .rows
+                    .iter()
+                    .map(|(label, values)| {
+                        Json::obj([
+                            ("label", Json::str(label)),
+                            (
+                                "values",
+                                Json::arr(values.iter().copied().map(Json::f64).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "notes",
+            Json::arr(table.notes.iter().map(Json::str).collect()),
+        ),
+    ])
+}
+
+/// Per-benchmark wall-time trajectory of a suite run.
+pub fn suite_timing_json(suite: &Suite) -> Json {
+    Json::obj([
+        ("wall_ns", Json::u64(suite.wall_ns)),
+        (
+            "benchmarks",
+            Json::arr(
+                suite
+                    .runs
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::str(r.profile.name)),
+                            ("elapsed_ns", Json::u64(r.elapsed_ns)),
+                            ("cycles", Json::u64(r.stats.cycles)),
+                            ("committed", Json::u64(r.stats.committed)),
+                            ("ipc", Json::f64(r.stats.ipc())),
+                            ("dcg_total_saving", Json::f64(r.dcg_total_saving())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn write_json_doc(id: &str, doc: &Json) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn emit_with(table: &FigureTable, doc: Json) {
+    println!("{table}");
+    let path = workspace_root()
+        .join("results")
+        .join(format!("{}.csv", table.id));
     match table.write_csv(&path) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    write_json_doc(&table.id, &doc);
+}
+
+/// Print a figure table, persist its CSV under the workspace-root
+/// `results/` directory, and its JSON under [`results_dir`].
+pub fn emit(table: &FigureTable) {
+    emit_with(table, table_json(table));
+}
+
+/// [`emit`], additionally embedding the suite's wall-time trajectory in
+/// the JSON document (for figure benches that ran a full suite).
+pub fn emit_timed(table: &FigureTable, suite: &Suite) {
+    let doc = Json::obj([
+        ("table", table_json(table)),
+        ("suite_timing", suite_timing_json(suite)),
+    ]);
+    emit_with(table, doc);
+}
+
+/// The `sim_throughput` micro-bench: end-to-end simulator cycles/second
+/// plus the hot component models, on the testkit harness. Writes (and
+/// returns the path of) `crates/bench/results/sim_throughput.json`.
+pub fn run_sim_throughput() -> std::io::Result<PathBuf> {
+    use dcg_sim::{
+        BpredConfig, BranchPredictor, CacheConfig, CacheHierarchy, PredictorKind, Processor,
+        SimConfig,
+    };
+    use dcg_workloads::{InstStream, Spec2000, SyntheticWorkload};
+
+    let mut h = Harness::new("sim_throughput");
+
+    {
+        let mut g = h.group("pipeline");
+        g.throughput_elements(10_000);
+        g.bench_function("commit_10k_insts_gzip", |b| {
+            let cfg = SimConfig::baseline_8wide();
+            let mut cpu = Processor::new(
+                cfg,
+                SyntheticWorkload::new(Spec2000::by_name("gzip").unwrap(), 1),
+            );
+            cpu.run_until_commits(20_000, |_| {}); // warm structures
+            b.iter(|| {
+                cpu.run_until_commits(10_000, |_| {});
+            });
+        });
+    }
+
+    {
+        let mut g = h.group("workload");
+        g.throughput_elements(10_000);
+        g.bench_function("generate_10k_insts_gcc", |b| {
+            let mut w = SyntheticWorkload::new(Spec2000::by_name("gcc").unwrap(), 1);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    std::hint::black_box(w.next_inst());
+                }
+            });
+        });
+    }
+
+    {
+        let mut g = h.group("components");
+        g.throughput_elements(10_000);
+        g.bench_function("bpred_lookup_update_10k", |b| {
+            let mut p = BranchPredictor::new(&BpredConfig {
+                kind: PredictorKind::TwoLevel,
+                pht_entries: 8192,
+                history_bits: 13,
+                btb_entries: 8192,
+                btb_ways: 4,
+                ras_entries: 32,
+            });
+            let mut pc = 0u64;
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    pc = pc.wrapping_add(4096);
+                    std::hint::black_box(p.predict_and_update(
+                        pc & 0xffff,
+                        dcg_isa::BranchInfo::conditional(pc & 8 == 0, pc ^ 0x40),
+                    ));
+                }
+            });
+        });
+        g.bench_function("cache_hierarchy_access_10k", |b| {
+            let l1 = CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 2,
+                line_bytes: 32,
+                latency: 2,
+            };
+            let l2 = CacheConfig {
+                size_bytes: 2 << 20,
+                ways: 8,
+                line_bytes: 64,
+                latency: 12,
+            };
+            let mut hier = CacheHierarchy::new(l1, l2, 100);
+            let mut t = 0u64;
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    t += 1;
+                    std::hint::black_box(hier.access((t * 40) & 0xf_ffff, t));
+                }
+            });
+        });
+    }
+
+    h.write_json(&results_dir())
+}
+
+/// The `fig10_total_power` harness: run the shared suite and emit the
+/// paper's Figure 10 with the timing trajectory embedded in the JSON.
+pub fn run_fig10_total_power() {
+    let suite = bench_suite(true);
+    emit_timed(&dcg_experiments::fig10(&suite), &suite);
 }

@@ -51,6 +51,9 @@ impl ExperimentConfig {
 pub struct BenchmarkRun {
     /// The benchmark profile.
     pub profile: BenchmarkProfile,
+    /// Wall-clock time spent simulating this benchmark (all schemes),
+    /// nanoseconds. Fed into the bench-harness JSON trajectories.
+    pub elapsed_ns: u64,
     /// Ungated base-case energy.
     pub baseline: PowerReport,
     /// DCG outcome (same timing run as the baseline).
@@ -166,6 +169,8 @@ fn dcache_saving(own: &PowerReport, base: &PowerReport) -> f64 {
 pub struct Suite {
     /// One entry per benchmark, in configuration order.
     pub runs: Vec<BenchmarkRun>,
+    /// Wall-clock time for the whole (parallel) suite run, nanoseconds.
+    pub wall_ns: u64,
 }
 
 impl Suite {
@@ -175,22 +180,25 @@ impl Suite {
     /// are bit-identical to a serial run (every simulation is
     /// deterministic).
     pub fn run(cfg: &ExperimentConfig, with_plb: bool) -> Suite {
-        let runs = std::thread::scope(|scope| {
-            let handles: Vec<_> = cfg
-                .benchmarks
-                .iter()
-                .map(|profile| scope.spawn(move || Self::run_one(cfg, *profile, with_plb)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("benchmark thread panicked"))
-                .collect()
+        let (runs, wall_ns) = dcg_testkit::bench::time(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = cfg
+                    .benchmarks
+                    .iter()
+                    .map(|profile| scope.spawn(move || Self::run_one(cfg, *profile, with_plb)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("benchmark thread panicked"))
+                    .collect()
+            })
         });
-        Suite { runs }
+        Suite { runs, wall_ns }
     }
 
     /// Run one benchmark under all requested schemes.
     fn run_one(cfg: &ExperimentConfig, profile: BenchmarkProfile, with_plb: bool) -> BenchmarkRun {
+        let started = std::time::Instant::now();
         let groups = LatchGroups::new(&cfg.sim.depth);
         let mut baseline = NoGating::new(&cfg.sim, &groups);
         let mut dcg = Dcg::new(&cfg.sim, &groups);
@@ -225,6 +233,7 @@ impl Suite {
 
         BenchmarkRun {
             profile,
+            elapsed_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             baseline: base_out.report,
             dcg: dcg_out,
             plb_orig,

@@ -2,64 +2,77 @@
 //! instruction the generators can produce.
 
 use dcg_isa::{decode_word, encode_word, ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass};
-use proptest::prelude::*;
+use dcg_testkit::prop::{self, Gen};
 
-fn arb_reg() -> impl Strategy<Value = Option<ArchReg>> {
-    prop_oneof![Just(None), (0u8..64).prop_map(ArchReg::from_dense),]
+fn arb_reg() -> Gen<Option<ArchReg>> {
+    Gen::one_of(vec![
+        prop::just(None),
+        prop::range(0u8..64).map(ArchReg::from_dense),
+    ])
 }
 
-fn arb_branch_kind() -> impl Strategy<Value = BranchKind> {
-    prop_oneof![
-        Just(BranchKind::Conditional),
-        Just(BranchKind::Jump),
-        Just(BranchKind::Call),
-        Just(BranchKind::Return),
-    ]
+fn arb_branch_kind() -> Gen<BranchKind> {
+    Gen::one_of(
+        [
+            BranchKind::Conditional,
+            BranchKind::Jump,
+            BranchKind::Call,
+            BranchKind::Return,
+        ]
+        .into_iter()
+        .map(prop::just)
+        .collect(),
+    )
 }
 
-prop_compose! {
-    fn arb_inst()(
-        pc in any::<u64>(),
-        op_idx in 0usize..OpClass::COUNT,
-        dest in arb_reg(),
-        src0 in arb_reg(),
-        src1 in arb_reg(),
-        addr in any::<u64>(),
-        size_log2 in 0u32..4,
-        kind in arb_branch_kind(),
-        taken in any::<bool>(),
-        target in any::<u64>(),
-    ) -> Inst {
-        let op = OpClass::from_index(op_idx).expect("index in range");
-        let mem = op.is_mem().then(|| MemRef::new(addr, 1u8 << size_log2));
-        let branch = (op == OpClass::Branch).then(|| BranchInfo {
-            kind,
-            taken: taken || kind.is_unconditional(),
-            target,
-        });
-        Inst {
-            pc,
-            op,
-            dest: if op.writes_result() { dest } else { None },
-            srcs: [src0, src1],
-            mem,
-            branch,
-        }
-    }
+fn arb_inst() -> Gen<Inst> {
+    prop::tuple((
+        prop::any_u64(),        // pc
+        0usize..OpClass::COUNT, // op
+        prop::tuple((arb_reg(), arb_reg(), arb_reg())),
+        prop::any_u64(), // addr
+        0u32..4,         // size_log2
+        arb_branch_kind(),
+        prop::any_bool(), // taken
+        prop::any_u64(),  // target
+    ))
+    .map(
+        |(pc, op_idx, (dest, src0, src1), addr, size_log2, kind, taken, target)| {
+            let op = OpClass::from_index(op_idx).expect("index in range");
+            let mem = op.is_mem().then(|| MemRef::new(addr, 1u8 << size_log2));
+            let branch = (op == OpClass::Branch).then(|| BranchInfo {
+                kind,
+                taken: taken || kind.is_unconditional(),
+                target,
+            });
+            Inst {
+                pc,
+                op,
+                dest: if op.writes_result() { dest } else { None },
+                srcs: [src0, src1],
+                mem,
+                branch,
+            }
+        },
+    )
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(inst in arb_inst()) {
-        prop_assert!(inst.is_well_formed());
+#[test]
+fn encode_decode_roundtrip() {
+    prop::check("encode_decode_roundtrip", arb_inst(), |inst| {
+        assert!(inst.is_well_formed());
         let words = encode_word(&inst);
-        prop_assert_eq!(decode_word(&words), Ok(inst));
-    }
+        assert_eq!(decode_word(&words), Ok(inst));
+    });
+}
 
-    #[test]
-    fn decode_never_panics(words in any::<[u64; 3]>()) {
-        // Arbitrary bit patterns must decode to either a well-formed
-        // instruction or a clean error, never panic.
-        if let Ok(inst) = decode_word(&words) { prop_assert!(inst.is_well_formed()) }
-    }
+#[test]
+fn decode_never_panics() {
+    // Arbitrary bit patterns must decode to either a well-formed
+    // instruction or a clean error, never panic.
+    prop::check("decode_never_panics", prop::any_u64_array::<3>(), |words| {
+        if let Ok(inst) = decode_word(&words) {
+            assert!(inst.is_well_formed());
+        }
+    });
 }

@@ -7,7 +7,7 @@
 use dcg_isa::FuClass;
 use dcg_power::{Component, GateState, PowerModel};
 use dcg_sim::{CycleActivity, LatchGroups, SimConfig};
-use proptest::prelude::*;
+use dcg_testkit::prop::{self, Gen};
 
 fn setup() -> (SimConfig, LatchGroups, PowerModel) {
     let cfg = SimConfig::baseline_8wide();
@@ -16,175 +16,180 @@ fn setup() -> (SimConfig, LatchGroups, PowerModel) {
     (cfg, groups, model)
 }
 
-fn arb_activity(groups: usize) -> impl Strategy<Value = CycleActivity> {
-    (
+fn arb_activity(groups: usize) -> Gen<CycleActivity> {
+    prop::tuple((
         0u32..=8,
         0u32..=8,
         0u32..=8,
         0u32..=8,
         0u32..=8,
-        proptest::collection::vec(0u32..=8, groups),
+        prop::vec(0u32..=8, groups..=groups),
         0u32..=2,
         0u32..=3,
-        any::<bool>(),
+        prop::any_bool(),
         0u32..=16,
         0u32..=8,
-    )
-        .prop_map(
-            |(
+    ))
+    .map(
+        |(
+            fetched,
+            renamed,
+            dispatched,
+            issued,
+            committed,
+            latch_occupancy,
+            loads,
+            l2,
+            icache,
+            rf_reads,
+            buses,
+        )| {
+            CycleActivity {
                 fetched,
                 renamed,
                 dispatched,
                 issued,
                 committed,
                 latch_occupancy,
-                loads,
-                l2,
-                icache,
-                rf_reads,
-                buses,
-            )| {
-                CycleActivity {
-                    fetched,
-                    renamed,
-                    dispatched,
-                    issued,
-                    committed,
-                    latch_occupancy,
-                    dcache_load_accesses: loads,
-                    l2_accesses: l2,
-                    icache_access: icache,
-                    regfile_reads: rf_reads,
-                    regfile_writes: buses,
-                    result_bus_used: buses,
-                    ..CycleActivity::default()
-                }
-            },
-        )
+                dcache_load_accesses: loads,
+                l2_accesses: l2,
+                icache_access: icache,
+                regfile_reads: rf_reads,
+                regfile_writes: buses,
+                result_bus_used: buses,
+                ..CycleActivity::default()
+            }
+        },
+    )
 }
 
 /// A random gate state narrower than (or equal to) fully powered.
-fn arb_gate(cfg: &SimConfig, groups: &LatchGroups) -> impl Strategy<Value = GateState> {
+fn arb_gate(cfg: &SimConfig, groups: &LatchGroups) -> Gen<GateState> {
     let base = GateState::ungated(cfg, groups);
     let group_count = groups.len();
     let gated_flags: Vec<bool> = groups.specs().iter().map(|s| s.gated).collect();
-    (
+    prop::tuple((
         0u32..64,
         0u32..4,
         0u32..16,
         0u32..16,
         0u32..4,
         0u32..=8,
-        proptest::collection::vec(proptest::option::of(0u32..=8), group_count),
+        prop::vec(prop::option(0u32..=8), group_count..=group_count),
         0.0f64..=1.0,
         0u32..200,
-    )
-        .prop_map(move |(ialu, imd, fa, fmd, ports, buses, slots, iq, ctrl)| {
-            let mut g = base.clone();
-            g.fu_powered[FuClass::IntAlu.index()] &= ialu;
-            g.fu_powered[FuClass::IntMulDiv.index()] &= imd;
-            g.fu_powered[FuClass::FpAlu.index()] &= fa;
-            g.fu_powered[FuClass::FpMulDiv.index()] &= fmd;
-            g.dcache_ports_powered &= ports;
-            g.result_buses_powered = buses.min(g.result_buses_powered);
-            g.latch_slots = slots
-                .into_iter()
-                .zip(&gated_flags)
-                .map(|(s, gated)| if *gated { s } else { None })
-                .collect();
-            g.issue_queue_scale = iq;
-            g.control_bits = ctrl;
-            g
-        })
+    ))
+    .map(move |(ialu, imd, fa, fmd, ports, buses, slots, iq, ctrl)| {
+        let mut g = base.clone();
+        g.fu_powered[FuClass::IntAlu.index()] &= ialu;
+        g.fu_powered[FuClass::IntMulDiv.index()] &= imd;
+        g.fu_powered[FuClass::FpAlu.index()] &= fa;
+        g.fu_powered[FuClass::FpMulDiv.index()] &= fmd;
+        g.dcache_ports_powered &= ports;
+        g.result_buses_powered = buses.min(g.result_buses_powered);
+        g.latch_slots = slots
+            .into_iter()
+            .zip(&gated_flags)
+            .map(|(s, gated)| if *gated { s } else { None })
+            .collect();
+        g.issue_queue_scale = iq;
+        g.control_bits = ctrl;
+        g
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Gated energy never exceeds ungated energy for the same activity.
-    #[test]
-    fn gating_is_monotone(
-        act in setup_activity_strategy(),
-        gate in setup_gate_strategy(),
-    ) {
-        let (cfg, groups, model) = setup();
-        let mut act = act;
-        act.latch_occupancy.resize(groups.len(), 0);
-        let base = GateState::ungated(&cfg, &groups);
-        let mut gate = gate;
-        gate.control_bits = 0; // compare pure gating effect
-        let e_base = model.cycle_energy(&act, &base);
-        let e_gated = model.cycle_energy(&act, &gate);
-        prop_assert!(
-            e_gated.total() <= e_base.total() + 1e-9,
-            "gated {} > base {}",
-            e_gated.total(),
-            e_base.total()
-        );
-    }
-
-    /// The breakdown is additive: the total is exactly the sum of parts,
-    /// and every part is non-negative and finite.
-    #[test]
-    fn breakdown_is_additive_and_sane(
-        act in setup_activity_strategy(),
-        gate in setup_gate_strategy(),
-    ) {
-        let (_cfg, groups, model) = setup();
-        let mut act = act;
-        act.latch_occupancy.resize(groups.len(), 0);
-        let e = model.cycle_energy(&act, &gate);
-        let mut sum = 0.0;
-        for c in Component::ALL {
-            let v = e.get(c);
-            prop_assert!(v.is_finite() && v >= 0.0, "{}: {v}", c.label());
-            sum += v;
-        }
-        prop_assert!((sum - e.total()).abs() < 1e-6);
-    }
-
-    /// Demand components are independent of the gate state (the paper gates
-    /// clocks, not work): array/L2/regfile energy depends only on activity.
-    #[test]
-    fn demand_energy_ignores_gating(
-        act in setup_activity_strategy(),
-        gate in setup_gate_strategy(),
-    ) {
-        let (cfg, groups, model) = setup();
-        let mut act = act;
-        act.latch_occupancy.resize(groups.len(), 0);
-        let base = GateState::ungated(&cfg, &groups);
-        let mut gate = gate;
-        gate.issue_queue_scale = 1.0;
-        let e_base = model.cycle_energy(&act, &base);
-        let e_gated = model.cycle_energy(&act, &gate);
-        for c in [
-            Component::DcacheArray,
-            Component::L2,
-            Component::Icache,
-            Component::RegFile,
-            Component::Rob,
-            Component::Lsq,
-            Component::Decode,
-            Component::Rename,
-            Component::ClockTree,
-        ] {
-            prop_assert!(
-                (e_base.get(c) - e_gated.get(c)).abs() < 1e-9,
-                "{} changed with gating",
-                c.label()
-            );
-        }
-    }
-}
-
-// Helper strategies bound to the fixed baseline geometry.
-fn setup_activity_strategy() -> impl Strategy<Value = CycleActivity> {
+// Helper generators bound to the fixed baseline geometry.
+fn setup_activity_gen() -> Gen<CycleActivity> {
     let (_, groups, _) = setup();
     arb_activity(groups.len())
 }
 
-fn setup_gate_strategy() -> impl Strategy<Value = GateState> {
+fn setup_gate_gen() -> Gen<GateState> {
     let (cfg, groups, _) = setup();
     arb_gate(&cfg, &groups)
+}
+
+/// Gated energy never exceeds ungated energy for the same activity.
+#[test]
+fn gating_is_monotone() {
+    prop::check(
+        "gating_is_monotone",
+        prop::tuple((setup_activity_gen(), setup_gate_gen())),
+        |(act, gate)| {
+            let (cfg, groups, model) = setup();
+            let mut act = act;
+            act.latch_occupancy.resize(groups.len(), 0);
+            let base = GateState::ungated(&cfg, &groups);
+            let mut gate = gate;
+            gate.control_bits = 0; // compare pure gating effect
+            let e_base = model.cycle_energy(&act, &base);
+            let e_gated = model.cycle_energy(&act, &gate);
+            assert!(
+                e_gated.total() <= e_base.total() + 1e-9,
+                "gated {} > base {}",
+                e_gated.total(),
+                e_base.total()
+            );
+        },
+    );
+}
+
+/// The breakdown is additive: the total is exactly the sum of parts,
+/// and every part is non-negative and finite.
+#[test]
+fn breakdown_is_additive_and_sane() {
+    prop::check(
+        "breakdown_is_additive_and_sane",
+        prop::tuple((setup_activity_gen(), setup_gate_gen())),
+        |(act, gate)| {
+            let (_cfg, groups, model) = setup();
+            let mut act = act;
+            act.latch_occupancy.resize(groups.len(), 0);
+            let e = model.cycle_energy(&act, &gate);
+            let mut sum = 0.0;
+            for c in Component::ALL {
+                let v = e.get(c);
+                assert!(v.is_finite() && v >= 0.0, "{}: {v}", c.label());
+                sum += v;
+            }
+            assert!((sum - e.total()).abs() < 1e-6);
+        },
+    );
+}
+
+/// Demand components are independent of the gate state (the paper gates
+/// clocks, not work): array/L2/regfile energy depends only on activity.
+#[test]
+fn demand_energy_ignores_gating() {
+    prop::check(
+        "demand_energy_ignores_gating",
+        prop::tuple((setup_activity_gen(), setup_gate_gen())),
+        |(act, gate)| {
+            let (cfg, groups, model) = setup();
+            let mut act = act;
+            act.latch_occupancy.resize(groups.len(), 0);
+            let base = GateState::ungated(&cfg, &groups);
+            let mut gate = gate;
+            gate.issue_queue_scale = 1.0;
+            let e_base = model.cycle_energy(&act, &base);
+            let e_gated = model.cycle_energy(&act, &gate);
+            for c in [
+                Component::DcacheArray,
+                Component::L2,
+                Component::Icache,
+                Component::RegFile,
+                Component::Rob,
+                Component::Lsq,
+                Component::Decode,
+                Component::Rename,
+                Component::ClockTree,
+            ] {
+                assert!(
+                    (e_base.get(c) - e_gated.get(c)).abs() < 1e-9,
+                    "{} changed with gating",
+                    c.label()
+                );
+            }
+        },
+    );
 }

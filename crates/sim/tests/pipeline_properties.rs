@@ -3,14 +3,14 @@
 
 use dcg_isa::FuClass;
 use dcg_sim::{Processor, SimConfig};
+use dcg_testkit::prop::{self, Gen};
 use dcg_workloads::{
     BenchmarkProfile, BranchModel, DepModel, MemoryModel, OpMix, SuiteKind, SyntheticWorkload,
 };
-use proptest::prelude::*;
 
 /// An arbitrary *valid* benchmark profile.
-fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
-    (
+fn arb_profile() -> Gen<BenchmarkProfile> {
+    prop::tuple((
         0.0..0.4f64,   // fp weight
         0.05..0.35f64, // mem weight
         0.02..0.25f64, // branch fraction
@@ -22,120 +22,131 @@ fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
         1.5..8.0f64,   // dep distance
         0.0..0.6f64,   // long range
         1usize..6,     // code blocks / 16
+    ))
+    .map(
+        |(fp, mem, br, loopf, trip, bias, p_cold, chase, dist, long, blocks16)| {
+            // Normalise so the integer-ALU remainder stays positive.
+            let scale = (0.85f64 / (fp + mem + br)).min(1.0);
+            let (fp, mem, br) = (fp * scale, mem * scale, br * scale);
+            let br = br.max(0.02);
+            let load = mem * 0.7;
+            let store = mem * 0.3;
+            let fp_alu = fp * 0.5;
+            let fp_mul = fp * 0.45;
+            let fp_div = fp * 0.05;
+            let int_mul = 0.01;
+            let int_div = 0.002;
+            let int_alu = 1.0 - (load + store + fp_alu + fp_mul + fp_div + int_mul + int_div + br);
+            BenchmarkProfile {
+                name: "prop",
+                suite: if fp > 0.05 {
+                    SuiteKind::Fp
+                } else {
+                    SuiteKind::Int
+                },
+                mix: OpMix::from_parts(
+                    int_alu, int_mul, int_div, fp_alu, fp_mul, fp_div, load, store, br,
+                ),
+                branches: BranchModel {
+                    loop_fraction: loopf.min(0.95),
+                    avg_trip: trip,
+                    biased_taken_prob: bias,
+                    call_fraction: (1.0 - loopf).min(0.1),
+                },
+                memory: MemoryModel {
+                    hot_bytes: 32 << 10,
+                    warm_bytes: 1 << 20,
+                    cold_bytes: 32 << 20,
+                    p_hot: (1.0 - p_cold) * 0.9,
+                    p_warm: (1.0 - p_cold) * 0.1,
+                    pointer_chase: chase,
+                },
+                deps: DepModel {
+                    mean_distance: dist,
+                    long_range_fraction: long,
+                },
+                code_blocks: blocks16 * 16,
+            }
+        },
     )
-        .prop_map(
-            |(fp, mem, br, loopf, trip, bias, p_cold, chase, dist, long, blocks16)| {
-                // Normalise so the integer-ALU remainder stays positive.
-                let scale = (0.85f64 / (fp + mem + br)).min(1.0);
-                let (fp, mem, br) = (fp * scale, mem * scale, br * scale);
-                let br = br.max(0.02);
-                let load = mem * 0.7;
-                let store = mem * 0.3;
-                let fp_alu = fp * 0.5;
-                let fp_mul = fp * 0.45;
-                let fp_div = fp * 0.05;
-                let int_mul = 0.01;
-                let int_div = 0.002;
-                let int_alu =
-                    1.0 - (load + store + fp_alu + fp_mul + fp_div + int_mul + int_div + br);
-                BenchmarkProfile {
-                    name: "prop",
-                    suite: if fp > 0.05 {
-                        SuiteKind::Fp
-                    } else {
-                        SuiteKind::Int
-                    },
-                    mix: OpMix::from_parts(
-                        int_alu, int_mul, int_div, fp_alu, fp_mul, fp_div, load, store, br,
-                    ),
-                    branches: BranchModel {
-                        loop_fraction: loopf.min(0.95),
-                        avg_trip: trip,
-                        biased_taken_prob: bias,
-                        call_fraction: (1.0 - loopf).min(0.1),
-                    },
-                    memory: MemoryModel {
-                        hot_bytes: 32 << 10,
-                        warm_bytes: 1 << 20,
-                        cold_bytes: 32 << 20,
-                        p_hot: (1.0 - p_cold) * 0.9,
-                        p_warm: (1.0 - p_cold) * 0.1,
-                        pointer_chase: chase,
-                    },
-                    deps: DepModel {
-                        mean_distance: dist,
-                        long_range_fraction: long,
-                    },
-                    code_blocks: blocks16 * 16,
-                }
-            },
-        )
-        .prop_filter("profile must validate", |p| p.validate().is_ok())
+    .filter(|p| p.validate().is_ok())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The pipeline never wedges, never over-commits, and keeps all
-    /// activity within structural bounds, for any valid workload.
-    #[test]
-    fn structural_invariants_hold(profile in arb_profile(), seed in 0u64..1000) {
-        let cfg = SimConfig::baseline_8wide();
-        let mut cpu = Processor::new(cfg.clone(), SyntheticWorkload::new(profile, seed));
-        let mut issued_total = 0u64;
-        let mut committed_total = 0u64;
-        for _ in 0..4_000 {
-            let act = cpu.step();
-            prop_assert!(act.fetched as usize <= cfg.fetch_width);
-            prop_assert!(act.issued as usize <= cfg.issue_width);
-            prop_assert!(act.committed as usize <= cfg.commit_width);
-            prop_assert!(act.result_bus_used as usize <= cfg.result_buses);
-            for c in FuClass::ALL {
-                let mask = act.fu_active[c.index()];
-                prop_assert!(
-                    mask < (1 << cfg.fu_count(c)),
-                    "class {c} mask {mask:#b} exceeds {} instances",
-                    cfg.fu_count(c)
-                );
-            }
-            prop_assert!(act.dcache_port_mask < (1 << cfg.mem_ports));
-            for occ in &act.latch_occupancy {
-                prop_assert!(*occ as usize <= cfg.issue_width);
-            }
-            issued_total += u64::from(act.issued);
-            committed_total += u64::from(act.committed);
-            // Commit never outruns issue.
-            prop_assert!(committed_total <= issued_total);
-        }
-        // The machine makes progress on every workload.
-        prop_assert!(committed_total > 0, "no instruction committed in 4000 cycles");
-        // In-flight work is bounded by the window.
-        prop_assert!(issued_total - committed_total <= cfg.rob_entries as u64);
-    }
-
-    /// Issue order respects data dependences indirectly: the one-hot pipe
-    /// signals always match the latch occupancies the paper derives from
-    /// them (delays 1..4 behind issue).
-    #[test]
-    fn backend_latch_occupancy_equals_delayed_issue(profile in arb_profile(), seed in 0u64..100) {
-        let cfg = SimConfig::baseline_8wide();
-        let mut cpu = Processor::new(cfg, SyntheticWorkload::new(profile, seed));
-        let groups = cpu.latch_groups().clone();
-        let mut issued_hist: Vec<u32> = Vec::new();
-        for _ in 0..2_000 {
-            let act = cpu.step();
-            issued_hist.push(act.issued);
-            let n = issued_hist.len();
-            for (g, spec) in groups.specs().iter().enumerate() {
-                if spec.gated && spec.source == dcg_sim::FlowSource::Issued {
-                    let d = spec.delay as usize;
-                    let expect = if n > d { issued_hist[n - 1 - d] } else { 0 };
-                    prop_assert_eq!(
-                        act.latch_occupancy[g], expect,
-                        "group {} at cycle {}", &spec.name, act.cycle
+/// The pipeline never wedges, never over-commits, and keeps all activity
+/// within structural bounds, for any valid workload.
+#[test]
+fn structural_invariants_hold() {
+    prop::check(
+        "structural_invariants_hold",
+        prop::tuple((arb_profile(), 0u64..1000)),
+        |(profile, seed)| {
+            let cfg = SimConfig::baseline_8wide();
+            let mut cpu = Processor::new(cfg.clone(), SyntheticWorkload::new(profile, seed));
+            let mut issued_total = 0u64;
+            let mut committed_total = 0u64;
+            for _ in 0..4_000 {
+                let act = cpu.step();
+                assert!(act.fetched as usize <= cfg.fetch_width);
+                assert!(act.issued as usize <= cfg.issue_width);
+                assert!(act.committed as usize <= cfg.commit_width);
+                assert!(act.result_bus_used as usize <= cfg.result_buses);
+                for c in FuClass::ALL {
+                    let mask = act.fu_active[c.index()];
+                    assert!(
+                        mask < (1 << cfg.fu_count(c)),
+                        "class {c} mask {mask:#b} exceeds {} instances",
+                        cfg.fu_count(c)
                     );
                 }
+                assert!(act.dcache_port_mask < (1 << cfg.mem_ports));
+                for occ in &act.latch_occupancy {
+                    assert!(*occ as usize <= cfg.issue_width);
+                }
+                issued_total += u64::from(act.issued);
+                committed_total += u64::from(act.committed);
+                // Commit never outruns issue.
+                assert!(committed_total <= issued_total);
             }
-        }
-    }
+            // The machine makes progress on every workload.
+            assert!(
+                committed_total > 0,
+                "no instruction committed in 4000 cycles"
+            );
+            // In-flight work is bounded by the window.
+            assert!(issued_total - committed_total <= cfg.rob_entries as u64);
+        },
+    );
+}
+
+/// Issue order respects data dependences indirectly: the one-hot pipe
+/// signals always match the latch occupancies the paper derives from
+/// them (delays 1..4 behind issue).
+#[test]
+fn backend_latch_occupancy_equals_delayed_issue() {
+    prop::check(
+        "backend_latch_occupancy_equals_delayed_issue",
+        prop::tuple((arb_profile(), 0u64..100)),
+        |(profile, seed)| {
+            let cfg = SimConfig::baseline_8wide();
+            let mut cpu = Processor::new(cfg, SyntheticWorkload::new(profile, seed));
+            let groups = cpu.latch_groups().clone();
+            let mut issued_hist: Vec<u32> = Vec::new();
+            for _ in 0..2_000 {
+                let act = cpu.step();
+                issued_hist.push(act.issued);
+                let n = issued_hist.len();
+                for (g, spec) in groups.specs().iter().enumerate() {
+                    if spec.gated && spec.source == dcg_sim::FlowSource::Issued {
+                        let d = spec.delay as usize;
+                        let expect = if n > d { issued_hist[n - 1 - d] } else { 0 };
+                        assert_eq!(
+                            act.latch_occupancy[g], expect,
+                            "group {} at cycle {}",
+                            &spec.name, act.cycle
+                        );
+                    }
+                }
+            }
+        },
+    );
 }

@@ -1,0 +1,32 @@
+//! `dcg-testkit` — hermetic test substrate for the DCG reproduction.
+//!
+//! The paper's headline claim (power savings with *zero* performance
+//! loss, HPCA 2003) rests on deterministic, repeatable simulation. This
+//! crate makes the whole workspace verifiable with **no external
+//! dependencies**, so `cargo build --offline --locked` and
+//! `cargo test --offline` work in a sealed environment:
+//!
+//! - [`rng`] — a seedable xoshiro256** PRNG ([`rng::SmallRng`]) behind the
+//!   same API surface the workspace previously used from `rand`; every
+//!   workload stream is a bit-reproducible function of a `u64` seed.
+//! - [`prop`] — a property-testing runner (replaces `proptest`):
+//!   choice-stream generation with automatic shrinking for integers,
+//!   tuples, options and vectors; case count via `DCG_PROPTEST_CASES`;
+//!   failing cases print a replayable `DCG_PROPTEST_SEED`.
+//! - [`bench`] — a micro-bench harness (replaces `criterion`): warm-up,
+//!   N timed samples, median/p10/p90, JSON reports for trajectory
+//!   tracking.
+//! - [`json`] — the minimal JSON writer backing the bench reports.
+//!
+//! See `crates/testkit/README.md` for the user guide.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use bench::Harness;
+pub use prop::{check, Gen};
+pub use rng::SmallRng;

@@ -67,7 +67,7 @@ pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dcg_testkit::prop;
 
     fn roundtrip(v: u64) -> u64 {
         let mut buf = Vec::new();
@@ -112,10 +112,26 @@ mod tests {
         assert!(read_u64(&mut &overflow[..]).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_any(v: u64) {
-            prop_assert_eq!(roundtrip(v), v);
-        }
+    #[test]
+    fn roundtrip_any() {
+        prop::check("varint_roundtrip_any", prop::any_u64(), |v| {
+            assert_eq!(roundtrip(v), v);
+        });
+    }
+
+    #[test]
+    fn truncated_any_prefix_errors() {
+        // Every strict prefix of any multi-byte encoding is a clean Err.
+        prop::check("varint_truncated_any_prefix", prop::any_u64(), |v| {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).expect("write to Vec");
+            for cut in 0..buf.len() {
+                let prefix = &buf[..cut];
+                assert!(
+                    read_u64(&mut &prefix[..]).is_err(),
+                    "prefix of len {cut} of {v:#x} must not decode"
+                );
+            }
+        });
     }
 }

@@ -1,87 +1,169 @@
 //! Property tests: the trace encoding is exact for arbitrary well-formed
-//! instruction sequences, and compact for realistic ones.
+//! instruction sequences, compact for realistic ones, and fails *cleanly*
+//! (never panics) on corrupted input.
 
 use dcg_isa::{ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass};
+use dcg_testkit::prop::{self, Gen};
 use dcg_trace::{TraceReader, TraceWriter};
 use dcg_workloads::{InstStream, Spec2000, SyntheticWorkload};
-use proptest::prelude::*;
 
-fn arb_inst(pc: u64) -> impl Strategy<Value = Inst> {
-    (
+fn arb_inst() -> Gen<Inst> {
+    prop::tuple((
         0usize..OpClass::COUNT,
-        proptest::option::of(0u8..64),
-        proptest::option::of(0u8..64),
-        proptest::option::of(0u8..64),
-        any::<u64>(),
-        any::<bool>(),
-        any::<u64>(),
+        prop::option(0u8..64),
+        prop::option(0u8..64),
+        prop::option(0u8..64),
+        prop::any_u64(),
+        prop::any_bool(),
+        prop::any_u64(),
         0usize..4,
-    )
-        .prop_map(move |(op_idx, d, s0, s1, addr, taken, target, kind)| {
-            let op = OpClass::from_index(op_idx).expect("in range");
-            let reg = |o: Option<u8>| o.and_then(ArchReg::from_dense);
-            let kind = BranchKind::ALL[kind];
-            Inst {
-                pc,
-                op,
-                dest: if op.writes_result() { reg(d) } else { None },
-                srcs: [reg(s0), reg(s1)],
-                mem: op.is_mem().then(|| MemRef::new(addr & !7, 8)),
-                branch: (op == OpClass::Branch).then(|| BranchInfo {
-                    kind,
-                    taken: taken || kind.is_unconditional(),
-                    target: target & !3,
-                }),
-            }
-        })
+    ))
+    .map(|(op_idx, d, s0, s1, addr, taken, target, kind)| {
+        let op = OpClass::from_index(op_idx).expect("in range");
+        let reg = |o: Option<u8>| o.and_then(ArchReg::from_dense);
+        let kind = BranchKind::ALL[kind];
+        Inst {
+            pc: 0,
+            op,
+            dest: if op.writes_result() { reg(d) } else { None },
+            srcs: [reg(s0), reg(s1)],
+            mem: op.is_mem().then(|| MemRef::new(addr & !7, 8)),
+            branch: (op == OpClass::Branch).then(|| BranchInfo {
+                kind,
+                taken: taken || kind.is_unconditional(),
+                target: target & !3,
+            }),
+        }
+    })
 }
 
 /// A sequentially consistent random sequence: each instruction's PC is the
 /// previous one's successor.
-fn arb_sequence(len: usize) -> impl Strategy<Value = Vec<Inst>> {
-    proptest::collection::vec(arb_inst(0), len).prop_map(|mut insts| {
+fn arb_sequence(len: usize) -> Gen<Vec<Inst>> {
+    prop::vec(arb_inst(), 0..=len).map(|mut insts| {
         let mut pc = 0x1000u64;
         for inst in &mut insts {
             inst.pc = pc;
-            if let Some(b) = &mut inst.branch {
-                if !b.taken {
-                    // keep fall-through defined
-                }
-            }
             pc = inst.successor_pc();
         }
         insts
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn roundtrip_any_sequence(insts in arb_sequence(200)) {
+#[test]
+fn roundtrip_any_sequence() {
+    prop::check("roundtrip_any_sequence", arb_sequence(200), |insts| {
         let mut buf = Vec::new();
         let mut w = TraceWriter::new(&mut buf, "prop").expect("header");
         for i in &insts {
             w.write_inst(i).expect("write");
         }
         w.finish().expect("finish");
-        let back = TraceReader::new(&buf[..]).expect("header").read_all().expect("decode");
-        prop_assert_eq!(back, insts);
-    }
+        let back = TraceReader::new(&buf[..])
+            .expect("header")
+            .read_all()
+            .expect("decode");
+        assert_eq!(back, insts);
+    });
+}
 
-    #[test]
-    fn arbitrary_byte_tails_never_panic(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
-        // A valid header followed by arbitrary bytes must decode to clean
-        // records then fail cleanly — never panic.
-        let mut buf = Vec::new();
-        TraceWriter::new(&mut buf, "fuzz").expect("header");
-        buf.extend(garbage);
-        let mut r = match TraceReader::new(&buf[..]) {
-            Ok(r) => r,
-            Err(_) => return Ok(()),
-        };
-        while let Ok(Some(_)) = r.read_inst() {}
+#[test]
+fn arbitrary_byte_tails_never_panic() {
+    // A valid header followed by arbitrary bytes must decode to clean
+    // records then fail cleanly — never panic.
+    prop::check(
+        "arbitrary_byte_tails_never_panic",
+        prop::vec(0u8..=255, 0..256usize),
+        |garbage| {
+            let mut buf = Vec::new();
+            TraceWriter::new(&mut buf, "fuzz").expect("header");
+            buf.extend(garbage);
+            let mut r = match TraceReader::new(&buf[..]) {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            while let Ok(Some(_)) = r.read_inst() {}
+        },
+    );
+}
+
+#[test]
+fn truncated_streams_error_cleanly() {
+    // Any proper prefix of a valid trace body (truncating mid-record, and
+    // therefore usually mid-varint) must produce `Err`, not a panic.
+    prop::check(
+        "truncated_streams_error_cleanly",
+        prop::tuple((arb_sequence(50), prop::any_u64())),
+        |(insts, cut_choice)| {
+            let header_len = {
+                let mut hdr = Vec::new();
+                TraceWriter::new(&mut hdr, "cut").expect("header");
+                hdr.len()
+            };
+            let mut buf = Vec::new();
+            let mut w = TraceWriter::new(&mut buf, "cut").expect("header");
+            for i in &insts {
+                w.write_inst(i).expect("write");
+            }
+            w.finish().expect("finish");
+            if buf.len() <= header_len + 1 {
+                return; // empty body: nothing to truncate
+            }
+            // Cut somewhere strictly inside the body.
+            let cut = header_len + 1 + (cut_choice as usize) % (buf.len() - header_len - 1);
+            let mut r = TraceReader::new(&buf[..cut]).expect("header still intact");
+            let mut decoded = 0usize;
+            let err = loop {
+                match r.read_inst() {
+                    Ok(Some(_)) => decoded += 1,
+                    // A cut exactly on a record boundary reads as clean EOF.
+                    Ok(None) => return,
+                    Err(e) => break e,
+                }
+            };
+            assert!(decoded <= insts.len());
+            let _ = format!("{err}"); // error is displayable, not a panic
+        },
+    );
+}
+
+#[test]
+fn corrupted_header_is_a_clean_err() {
+    // Flipping any single byte of the magic must yield Err (bad header).
+    let mut buf = Vec::new();
+    TraceWriter::new(&mut buf, "hdr").expect("header");
+    for i in 0..8 {
+        let mut bad = buf.clone();
+        bad[i] ^= 0xFF;
+        assert!(
+            TraceReader::new(&bad[..]).is_err(),
+            "corrupt magic byte {i} must be rejected"
+        );
     }
+    // A header truncated mid-magic is also a clean Err.
+    assert!(TraceReader::new(&buf[..4]).is_err());
+}
+
+#[test]
+fn overlong_varint_in_body_is_a_clean_err() {
+    // A syntactically invalid varint (11 continuation bytes) inside the
+    // body must surface as Err from the reader.
+    let mut buf = Vec::new();
+    TraceWriter::new(&mut buf, "ovl").expect("header");
+    buf.extend([0x80u8; 11]);
+    let mut r = TraceReader::new(&buf[..]).expect("header");
+    let mut saw_err = false;
+    loop {
+        match r.read_inst() {
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(_) => {
+                saw_err = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_err, "overlong varint must error, not EOF silently");
 }
 
 #[test]

@@ -15,8 +15,7 @@
 //! simulator's fetch stage relies on this to follow the correct path.
 
 use dcg_isa::{ArchReg, BranchInfo, BranchKind, Inst, MemRef, OpClass, RegFileKind};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dcg_testkit::rng::SmallRng;
 
 use crate::{BenchmarkProfile, InstStream};
 
@@ -562,7 +561,7 @@ fn build_static_code(profile: &BenchmarkProfile, rng: &mut SmallRng) -> StaticCo
             let mut insts = Vec::with_capacity(body_len + 1);
             let mut history = WriterHistory::new();
             for _ in 0..body_len {
-                let u: f64 = b.rng.gen();
+                let u = b.rng.gen_f64();
                 let class = b.profile.mix.sample_non_branch(u);
                 match class {
                     OpClass::Load => {
@@ -630,7 +629,7 @@ fn build_static_code(profile: &BenchmarkProfile, rng: &mut SmallRng) -> StaticCo
         let term = if i + 1 == main_blocks {
             Terminator::Jump { target_block: 0 }
         } else {
-            let u: f64 = b.rng.gen();
+            let u = b.rng.gen_f64();
             let br = &profile.branches;
             if u < br.loop_fraction {
                 let lo = (br.avg_trip / 2).max(2);

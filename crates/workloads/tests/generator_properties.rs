@@ -1,14 +1,14 @@
 //! Property-based tests of the workload generators: every valid profile
 //! yields a well-formed, deterministic, sequentially consistent stream.
 
+use dcg_testkit::prop::{self, Gen};
 use dcg_workloads::{
     BenchmarkProfile, BranchModel, DepModel, InstStream, MemoryModel, OpMix, Spec2000, SuiteKind,
     SyntheticWorkload,
 };
-use proptest::prelude::*;
 
-fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
-    (
+fn arb_profile() -> Gen<BenchmarkProfile> {
+    prop::tuple((
         0.0..0.45f64,
         0.05..0.4f64,
         0.02..0.3f64,
@@ -20,86 +20,100 @@ fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
         1.0..10.0f64,
         0.0..1.0f64,
         4usize..256,
+    ))
+    .map(
+        |(fp, mem, br, loopf, trip, bias, p_hot_frac, chase, dist, long, blocks)| {
+            // Normalise so the integer-ALU remainder stays positive.
+            let scale = (0.9f64 / (fp + mem + br)).min(1.0);
+            let (fp, mem, br) = (fp * scale, mem * scale, br * scale);
+            let br = br.max(0.02);
+            let load = mem * 0.7;
+            let store = mem * 0.3;
+            let fp_alu = fp * 0.5;
+            let fp_mul = fp * 0.45;
+            let fp_div = fp * 0.05;
+            let int_alu = 1.0 - (load + store + fp_alu + fp_mul + fp_div + 0.012 + br);
+            BenchmarkProfile {
+                name: "prop",
+                suite: SuiteKind::Int,
+                mix: OpMix::from_parts(
+                    int_alu, 0.01, 0.002, fp_alu, fp_mul, fp_div, load, store, br,
+                ),
+                branches: BranchModel {
+                    loop_fraction: loopf * 0.9,
+                    avg_trip: trip,
+                    biased_taken_prob: bias,
+                    call_fraction: (1.0 - loopf * 0.9).min(0.2) * 0.5,
+                },
+                memory: MemoryModel {
+                    hot_bytes: 8 << 10,
+                    warm_bytes: 256 << 10,
+                    cold_bytes: 8 << 20,
+                    p_hot: p_hot_frac * 0.9,
+                    p_warm: (1.0 - p_hot_frac * 0.9) * 0.5,
+                    pointer_chase: chase,
+                },
+                deps: DepModel {
+                    mean_distance: dist,
+                    long_range_fraction: long,
+                },
+                code_blocks: blocks,
+            }
+        },
     )
-        .prop_map(
-            |(fp, mem, br, loopf, trip, bias, p_hot_frac, chase, dist, long, blocks)| {
-                // Normalise so the integer-ALU remainder stays positive.
-                let scale = (0.9f64 / (fp + mem + br)).min(1.0);
-                let (fp, mem, br) = (fp * scale, mem * scale, br * scale);
-                let br = br.max(0.02);
-                let load = mem * 0.7;
-                let store = mem * 0.3;
-                let fp_alu = fp * 0.5;
-                let fp_mul = fp * 0.45;
-                let fp_div = fp * 0.05;
-                let int_alu = 1.0 - (load + store + fp_alu + fp_mul + fp_div + 0.012 + br);
-                BenchmarkProfile {
-                    name: "prop",
-                    suite: SuiteKind::Int,
-                    mix: OpMix::from_parts(
-                        int_alu, 0.01, 0.002, fp_alu, fp_mul, fp_div, load, store, br,
-                    ),
-                    branches: BranchModel {
-                        loop_fraction: loopf * 0.9,
-                        avg_trip: trip,
-                        biased_taken_prob: bias,
-                        call_fraction: (1.0 - loopf * 0.9).min(0.2) * 0.5,
-                    },
-                    memory: MemoryModel {
-                        hot_bytes: 8 << 10,
-                        warm_bytes: 256 << 10,
-                        cold_bytes: 8 << 20,
-                        p_hot: p_hot_frac * 0.9,
-                        p_warm: (1.0 - p_hot_frac * 0.9) * 0.5,
-                        pointer_chase: chase,
-                    },
-                    deps: DepModel {
-                        mean_distance: dist,
-                        long_range_fraction: long,
-                    },
-                    code_blocks: blocks,
-                }
-            },
-        )
-        .prop_filter("profile must validate", |p| p.validate().is_ok())
+    .filter(|p| p.validate().is_ok())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn arb_case() -> Gen<(BenchmarkProfile, u64)> {
+    prop::tuple((arb_profile(), prop::any_u64()))
+}
 
-    #[test]
-    fn any_valid_profile_streams_consistently(profile in arb_profile(), seed: u64) {
-        let mut w = SyntheticWorkload::new(profile, seed);
-        let mut prev = w.next_inst();
-        prop_assert!(prev.is_well_formed());
-        for _ in 0..3_000 {
-            let inst = w.next_inst();
-            prop_assert!(inst.is_well_formed());
-            prop_assert_eq!(inst.pc, prev.successor_pc(), "PC discontinuity");
-            prev = inst;
-        }
-    }
+#[test]
+fn any_valid_profile_streams_consistently() {
+    prop::check(
+        "any_valid_profile_streams_consistently",
+        arb_case(),
+        |(profile, seed)| {
+            let mut w = SyntheticWorkload::new(profile, seed);
+            let mut prev = w.next_inst();
+            assert!(prev.is_well_formed());
+            for _ in 0..3_000 {
+                let inst = w.next_inst();
+                assert!(inst.is_well_formed());
+                assert_eq!(inst.pc, prev.successor_pc(), "PC discontinuity");
+                prev = inst;
+            }
+        },
+    );
+}
 
-    #[test]
-    fn streams_are_reproducible(profile in arb_profile(), seed: u64) {
+#[test]
+fn streams_are_reproducible() {
+    prop::check("streams_are_reproducible", arb_case(), |(profile, seed)| {
         let mut a = SyntheticWorkload::new(profile, seed);
         let mut b = SyntheticWorkload::new(profile, seed);
         for _ in 0..500 {
-            prop_assert_eq!(a.next_inst(), b.next_inst());
+            assert_eq!(a.next_inst(), b.next_inst());
         }
-    }
+    });
+}
 
-    #[test]
-    fn memory_accesses_are_aligned_and_in_bounds(profile in arb_profile(), seed: u64) {
-        let mut w = SyntheticWorkload::new(profile, seed);
-        for _ in 0..3_000 {
-            let inst = w.next_inst();
-            if let Some(m) = inst.mem {
-                prop_assert_eq!(m.addr % 8, 0, "accesses are 8-byte aligned");
-                prop_assert!(m.addr >= 0x1000_0000, "data below the data regions");
+#[test]
+fn memory_accesses_are_aligned_and_in_bounds() {
+    prop::check(
+        "memory_accesses_are_aligned_and_in_bounds",
+        arb_case(),
+        |(profile, seed)| {
+            let mut w = SyntheticWorkload::new(profile, seed);
+            for _ in 0..3_000 {
+                let inst = w.next_inst();
+                if let Some(m) = inst.mem {
+                    assert_eq!(m.addr % 8, 0, "accesses are 8-byte aligned");
+                    assert!(m.addr >= 0x1000_0000, "data below the data regions");
+                }
             }
-        }
-    }
+        },
+    );
 }
 
 #[test]

@@ -79,3 +79,41 @@ fn passive_policies_do_not_perturb_timing() {
     assert_eq!(bare.committed(), run.stats.committed);
     assert_eq!(bare.cycle(), run.stats.cycles);
 }
+
+/// Suite-level determinism: `Suite::run` fans benchmarks out across
+/// threads, but two invocations with the same configuration must yield
+/// byte-identical statistics and power reports (floats compared by bit
+/// pattern, not approximate equality).
+#[test]
+fn suite_runs_are_byte_identical_across_invocations() {
+    use dcg_repro::experiments::{ExperimentConfig, Suite};
+    use dcg_repro::power::{Component, PowerReport};
+
+    fn report_bits(r: &PowerReport) -> Vec<u64> {
+        let mut v = vec![r.cycles(), r.committed(), r.total_pj().to_bits()];
+        v.extend(Component::ALL.iter().map(|c| r.component_pj(*c).to_bits()));
+        v
+    }
+
+    fn fingerprint(suite: &Suite) -> Vec<(String, String, Vec<u64>, Vec<u64>)> {
+        suite
+            .runs
+            .iter()
+            .map(|run| {
+                (
+                    run.profile.name.to_string(),
+                    // SimStats is all integer counters, so its Debug
+                    // rendering is an exact encoding.
+                    format!("{:?}", run.stats),
+                    report_bits(&run.baseline),
+                    report_bits(&run.dcg.report),
+                )
+            })
+            .collect()
+    }
+
+    let cfg = ExperimentConfig::quick();
+    let a = Suite::run(&cfg, false);
+    let b = Suite::run(&cfg, false);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}

@@ -9,6 +9,7 @@
 //! suite) when that happens.
 
 use dcg_repro::core::{run_passive, Dcg, NoGating, RunLength};
+use dcg_repro::experiments::{ExperimentConfig, Suite};
 use dcg_repro::sim::{LatchGroups, SimConfig};
 use dcg_repro::workloads::{Spec2000, SyntheticWorkload};
 
@@ -28,20 +29,53 @@ fn bzip2_seed42_is_bit_stable() {
         &mut [&mut base, &mut dcg],
     );
 
-    assert_eq!(run.stats.cycles, 21_798);
-    assert_eq!(run.stats.committed, 50_003);
-    assert_eq!(run.stats.issued, 50_052);
-    assert_eq!(run.stats.dcache_misses, 947);
-    assert_eq!(run.stats.mispredicts, 487);
+    assert_eq!(run.stats.cycles, 20_994);
+    assert_eq!(run.stats.committed, 50_000);
+    assert_eq!(run.stats.issued, 50_004);
+    assert_eq!(run.stats.dcache_misses, 738);
+    assert_eq!(run.stats.mispredicts, 500);
 
     let base_pj = run.outcomes[0].report.total_pj();
     let dcg_pj = run.outcomes[1].report.total_pj();
     assert!(
-        (base_pj - 889_525_073.920).abs() < 1.0,
+        (base_pj - 858_968_445.760).abs() < 1.0,
         "baseline energy drifted: {base_pj:.3}"
     );
     assert!(
-        (dcg_pj - 690_933_006.080).abs() < 1.0,
+        (dcg_pj - 670_463_025.120).abs() < 1.0,
         "DCG energy drifted: {dcg_pj:.3}"
     );
+}
+
+/// The quick experiment suite, locked to goldens: each benchmark's DCG
+/// total-power saving and IPC must stay within ±0.1% (relative) of the
+/// committed values. Catches calibration drift that the bit-exact bzip2
+/// test above would attribute to "something changed" without quantifying
+/// how much.
+#[test]
+fn quick_suite_matches_goldens() {
+    // (benchmark, DCG total-power saving, IPC) from a committed reference
+    // run of `ExperimentConfig::quick()` at seed 42.
+    const GOLDENS: [(&str, f64, f64); 3] = [
+        ("gzip", 0.205532345021604, 2.666533333333333),
+        ("mcf", 0.360641368470674, 0.679673691366417),
+        ("swim", 0.299972622812348, 1.233853556227253),
+    ];
+    const REL_TOL: f64 = 1e-3; // ±0.1%
+
+    let suite = Suite::run(&ExperimentConfig::quick(), false);
+    assert_eq!(suite.runs.len(), GOLDENS.len());
+    for (run, (name, saving, ipc)) in suite.runs.iter().zip(GOLDENS) {
+        assert_eq!(run.profile.name, name);
+        let got_saving = run.dcg_total_saving();
+        let got_ipc = run.stats.ipc();
+        assert!(
+            (got_saving - saving).abs() <= saving.abs() * REL_TOL,
+            "{name}: DCG saving drifted: got {got_saving}, golden {saving}"
+        );
+        assert!(
+            (got_ipc - ipc).abs() <= ipc.abs() * REL_TOL,
+            "{name}: IPC drifted: got {got_ipc}, golden {ipc}"
+        );
+    }
 }
