@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p dcg-bench --bin bench_runner -- sim_throughput
 //! cargo run --release -p dcg-bench --bin bench_runner -- fig10_total_power
+//! cargo run --release -p dcg-bench --bin bench_runner -- alu_sweep_cache
 //! ```
 //!
 //! `DCG_BENCH_QUICK=1` shrinks the figure suites; `DCG_BENCH_SAMPLES` /
@@ -11,7 +12,7 @@
 
 use std::process::ExitCode;
 
-const KNOWN: &[&str] = &["sim_throughput", "fig10_total_power"];
+const KNOWN: &[&str] = &["sim_throughput", "fig10_total_power", "alu_sweep_cache"];
 
 fn main() -> ExitCode {
     let names: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +30,10 @@ fn main() -> ExitCode {
                 eprintln!("wrote {}", path.display());
             }
             "fig10_total_power" => dcg_bench::run_fig10_total_power(),
+            "alu_sweep_cache" => {
+                let path = dcg_bench::run_alu_sweep_cache().expect("write bench JSON");
+                eprintln!("wrote {}", path.display());
+            }
             other => {
                 eprintln!("unknown bench '{other}'; known names: {}", KNOWN.join(", "));
                 return ExitCode::FAILURE;

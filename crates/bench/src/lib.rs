@@ -200,6 +200,32 @@ pub fn run_sim_throughput() -> std::io::Result<PathBuf> {
     }
 
     {
+        let mut g = h.group("runner");
+        g.throughput_elements(5_000);
+        g.bench_function("run_passive_baseline_dcg_5k_gzip", |b| {
+            use dcg_core::{run_passive, Dcg, NoGating, RunLength};
+            use dcg_sim::LatchGroups;
+            let cfg = SimConfig::baseline_8wide();
+            let groups = LatchGroups::new(&cfg.depth);
+            let length = RunLength {
+                warmup_insts: 0,
+                measure_insts: 5_000,
+            };
+            b.iter(|| {
+                let mut base = NoGating::new(&cfg, &groups);
+                let mut dcg = Dcg::new(&cfg, &groups);
+                let run = run_passive(
+                    &cfg,
+                    SyntheticWorkload::new(Spec2000::by_name("gzip").unwrap(), 1),
+                    length,
+                    &mut [&mut base, &mut dcg],
+                );
+                std::hint::black_box(run.stats.cycles);
+            });
+        });
+    }
+
+    {
         let mut g = h.group("components");
         g.throughput_elements(10_000);
         g.bench_function("bpred_lookup_update_10k", |b| {
@@ -254,4 +280,70 @@ pub fn run_sim_throughput() -> std::io::Result<PathBuf> {
 pub fn run_fig10_total_power() {
     let suite = bench_suite(true);
     emit_timed(&dcg_experiments::fig10(&suite), &suite);
+}
+
+/// The `alu_sweep_cache` harness: demonstrate the simulate-once
+/// architecture on the §4.4 ALU sweep.
+///
+/// Runs the sweep three times — live (no cache), cold cache (simulate +
+/// record) and warm cache (pure replay) — asserts all three tables are
+/// bit-identical, and writes the wall-clock comparison to
+/// `crates/bench/results/alu_sweep_cache.json`. On a warm cache the sweep
+/// must beat the live run by ≥ 2×.
+pub fn run_alu_sweep_cache() -> std::io::Result<PathBuf> {
+    use dcg_core::TraceCache;
+    use dcg_testkit::bench::time;
+
+    let cfg = bench_config();
+    let dir = workspace_root()
+        .join("target")
+        .join("tmp")
+        .join("alu-sweep-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = TraceCache::new(dir);
+
+    eprintln!("alu_sweep live (no cache)...");
+    let (live_table, live_ns) = time(|| dcg_experiments::alu_sweep_with(&cfg, None));
+    eprintln!("alu_sweep cold cache (simulate + record)...");
+    let (cold_table, cold_ns) = time(|| dcg_experiments::alu_sweep_with(&cfg, Some(&cache)));
+    eprintln!("alu_sweep warm cache (replay)...");
+    let (warm_table, warm_ns) = time(|| dcg_experiments::alu_sweep_with(&cfg, Some(&cache)));
+
+    let bits = |t: &FigureTable| -> Vec<(String, Vec<u64>)> {
+        t.rows
+            .iter()
+            .map(|(label, values)| (label.clone(), values.iter().map(|v| v.to_bits()).collect()))
+            .collect()
+    };
+    assert_eq!(
+        bits(&live_table),
+        bits(&cold_table),
+        "recording must not change results"
+    );
+    assert_eq!(
+        bits(&live_table),
+        bits(&warm_table),
+        "replay must reproduce the live sweep bit-identically"
+    );
+
+    let speedup = live_ns as f64 / warm_ns.max(1) as f64;
+    eprintln!(
+        "live {:.3} s, cold {:.3} s, warm {:.3} s -> warm-cache speedup {speedup:.1}x",
+        live_ns as f64 / 1e9,
+        cold_ns as f64 / 1e9,
+        warm_ns as f64 / 1e9
+    );
+    let doc = Json::obj([
+        ("id", Json::str("alu_sweep_cache")),
+        ("live_ns", Json::u64(live_ns)),
+        ("cold_ns", Json::u64(cold_ns)),
+        ("warm_ns", Json::u64(warm_ns)),
+        ("speedup_live_over_warm", Json::f64(speedup)),
+        ("bit_identical", Json::Bool(true)),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("alu_sweep_cache.json");
+    std::fs::write(&path, format!("{doc}\n"))?;
+    Ok(path)
 }

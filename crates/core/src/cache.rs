@@ -1,0 +1,341 @@
+//! Content-addressed cache of recorded activity traces.
+//!
+//! Passive-policy experiments dominated by repeated simulations of the
+//! same `(configuration, workload, seed, run length)` tuple — parameter
+//! sweeps, figure regeneration, calibration probes — need the timing
+//! simulation only **once**: the first run records its activity stream,
+//! and later runs replay it through [`crate::run_passive_source`] at a
+//! fraction of the cost.
+//!
+//! Cache entries are keyed by an FNV-1a digest over
+//! ([`SimConfig::digest`], benchmark name, seed, warm-up and measured
+//! instruction counts, and the activity format's schema/version
+//! constants), so any change to the machine configuration, the workload
+//! identity or the serialized [`dcg_sim::CycleActivity`] shape addresses
+//! a different file. Stale entries are caught by the header identity
+//! check; truncated or corrupt ones by the trace trailer's checksum
+//! (verified at memory speed, no decode) — and both are deleted, falling
+//! back to a live simulation. A cache hit can never change results, only
+//! skip work.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dcg_sim::{LatchGroups, Processor, SimConfig};
+use dcg_trace::{
+    ActivityHeader, ActivityTraceReader, ActivityTraceWriter, ACTIVITY_SCHEMA, ACTIVITY_VERSION,
+};
+use dcg_workloads::{BenchmarkProfile, SyntheticWorkload};
+
+use crate::policy::GatingPolicy;
+use crate::runner::{run_passive_with_extra, PassiveRun, RunLength};
+use crate::sinks::{ActivitySink, RecorderSink};
+use crate::source::ReplaySource;
+
+/// Environment variable controlling [`TraceCache::from_env`]: unset for
+/// the default location, a path to relocate the cache, or `0`/`off`/
+/// `none` to disable caching.
+pub const TRACE_CACHE_ENV: &str = "DCG_TRACE_CACHE";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Counter making concurrent writers' temp-file names unique within one
+/// process (the pid distinguishes processes).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of recorded activity traces, addressed by content key.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: PathBuf) -> TraceCache {
+        TraceCache { dir }
+    }
+
+    /// The cache honoring [`TRACE_CACHE_ENV`]; defaults to
+    /// `results/traces/` at the workspace root. Returns `None` when
+    /// caching is disabled.
+    pub fn from_env() -> Option<TraceCache> {
+        match std::env::var(TRACE_CACHE_ENV) {
+            Ok(v) if matches!(v.as_str(), "0" | "off" | "none" | "") => None,
+            Ok(v) => Some(TraceCache::new(PathBuf::from(v))),
+            Err(_) => {
+                // crates/core/ -> workspace root.
+                let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .ancestors()
+                    .nth(2)
+                    .expect("workspace root");
+                Some(TraceCache::new(root.join("results").join("traces")))
+            }
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Content key for one `(config, workload, seed, length)` tuple.
+    pub fn key(config: &SimConfig, name: &str, seed: u64, length: RunLength) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut mix_bytes = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix_bytes(&config.digest().to_le_bytes());
+        mix_bytes(name.as_bytes());
+        mix_bytes(&[0]); // name terminator
+        mix_bytes(&seed.to_le_bytes());
+        mix_bytes(&length.warmup_insts.to_le_bytes());
+        mix_bytes(&length.measure_insts.to_le_bytes());
+        mix_bytes(&ACTIVITY_SCHEMA.to_le_bytes());
+        mix_bytes(&ACTIVITY_VERSION.to_le_bytes());
+        h
+    }
+
+    fn entry_path(&self, name: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("{name}-{key:016x}.dcgact"))
+    }
+
+    /// Open a validated replay source for the tuple, or `None` on a cache
+    /// miss. Validation re-derives the content key, checks every header
+    /// identity field and verifies the trailer checksum over the record
+    /// bytes (so a truncated or corrupt file can never half-replay);
+    /// invalid entries are deleted.
+    ///
+    /// The whole entry is loaded into memory first — entries are a few
+    /// megabytes, and slice decoding is what makes replay beat a live
+    /// simulation.
+    pub fn replay_source(
+        &self,
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+    ) -> Option<ReplaySource> {
+        let path = self.entry_path(name, Self::key(config, name, seed, length));
+        let bytes = fs::read(&path).ok()?;
+        match Self::validate_entry(config, name, seed, length, bytes) {
+            Ok(reader) => Some(ReplaySource::new(reader)),
+            Err(()) => {
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn validate_entry(
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+        bytes: Vec<u8>,
+    ) -> Result<ActivityTraceReader, ()> {
+        let reader = ActivityTraceReader::new(&bytes[..]).map_err(|_| ())?;
+        let h = reader.header();
+        let groups = LatchGroups::new(&config.depth).len() as u32;
+        let identity_ok = h.config_digest == config.digest()
+            && h.seed == seed
+            && h.name == name
+            && h.warmup_insts == length.warmup_insts
+            && h.measure_insts == length.measure_insts
+            && h.groups == groups;
+        if !identity_ok {
+            return Err(());
+        }
+        let (_cycles, committed) = reader.verified_totals().ok_or(())?;
+        if committed < length.warmup_insts + length.measure_insts {
+            return Err(());
+        }
+        Ok(reader)
+    }
+
+    /// [`crate::run_passive`] with transparent caching: replay the
+    /// recorded activity on a hit; simulate live and record on a miss.
+    /// Results are bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::run_passive`].
+    pub fn run_passive_cached(
+        &self,
+        config: &SimConfig,
+        profile: BenchmarkProfile,
+        seed: u64,
+        length: RunLength,
+        policies: &mut [&mut dyn GatingPolicy],
+    ) -> PassiveRun {
+        if let Some(mut replay) = self.replay_source(config, profile.name, seed, length) {
+            return crate::runner::run_passive_source(config, &mut replay, length, policies);
+        }
+
+        let mut cpu = Processor::new(config.clone(), SyntheticWorkload::new(profile, seed));
+        let groups = cpu.latch_groups().len();
+        let header = ActivityHeader::new(
+            profile.name,
+            config.digest(),
+            seed,
+            length.warmup_insts,
+            length.measure_insts,
+            groups,
+        )
+        .expect("activity header for a valid profile");
+        let writer = ActivityTraceWriter::new(Vec::new(), &header).expect("in-memory header write");
+        let mut recorder = RecorderSink::new(writer);
+        let run = {
+            let mut extra: [&mut dyn ActivitySink; 1] = [&mut recorder];
+            run_passive_with_extra(config, &mut cpu, length, policies, &mut extra)
+        };
+        if let Ok(bytes) = recorder.finish() {
+            self.store(
+                profile.name,
+                Self::key(config, profile.name, seed, length),
+                &bytes,
+            );
+        }
+        run
+    }
+
+    /// Best-effort atomic store: write to a unique temp file, then rename
+    /// into place. Failures are swallowed — caching is an optimization,
+    /// never a correctness dependency.
+    fn store(&self, name: &str, key: u64, bytes: &[u8]) {
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let tmp = self.dir.join(format!(
+            "{name}-{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = || -> std::io::Result<()> {
+            let mut f = BufWriter::new(File::create(&tmp)?);
+            f.write_all(bytes)?;
+            f.into_inner()?.sync_all()
+        };
+        if write().is_ok() {
+            let _ = fs::rename(&tmp, self.entry_path(name, key));
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dcg, NoGating};
+    use dcg_power::Component;
+    use dcg_workloads::Spec2000;
+
+    fn scratch(tag: &str) -> TraceCache {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("target")
+            .join("tmp")
+            .join(format!("trace-cache-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        TraceCache::new(dir)
+    }
+
+    fn short() -> RunLength {
+        RunLength {
+            warmup_insts: 500,
+            measure_insts: 2_000,
+        }
+    }
+
+    fn report_bits(run: &PassiveRun) -> Vec<(u64, u64, Vec<u64>)> {
+        run.outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.report.cycles(),
+                    o.report.committed(),
+                    Component::ALL
+                        .iter()
+                        .map(|c| o.report.component_pj(*c).to_bits())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn miss_records_then_hit_replays_identically() {
+        let cache = scratch("roundtrip");
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let profile = Spec2000::by_name("gzip").unwrap();
+
+        let mut base = NoGating::new(&cfg, &groups);
+        let mut dcg = Dcg::new(&cfg, &groups);
+        let cold = cache.run_passive_cached(&cfg, profile, 9, short(), &mut [&mut base, &mut dcg]);
+        assert!(
+            cache
+                .replay_source(&cfg, profile.name, 9, short())
+                .is_some(),
+            "first run must populate the cache"
+        );
+
+        let mut base2 = NoGating::new(&cfg, &groups);
+        let mut dcg2 = Dcg::new(&cfg, &groups);
+        let warm =
+            cache.run_passive_cached(&cfg, profile, 9, short(), &mut [&mut base2, &mut dcg2]);
+        assert_eq!(report_bits(&cold), report_bits(&warm));
+        assert_eq!(cold.stats.cycles, warm.stats.cycles);
+        assert_eq!(cold.stats.mispredicts, warm.stats.mispredicts);
+        assert_eq!(
+            cold.outcomes[1].audit, warm.outcomes[1].audit,
+            "audit must replay bit-identically"
+        );
+    }
+
+    #[test]
+    fn key_separates_config_seed_and_length() {
+        let cfg = SimConfig::baseline_8wide();
+        let deep = SimConfig::deep_pipeline_20();
+        let k = TraceCache::key(&cfg, "gzip", 1, short());
+        assert_ne!(k, TraceCache::key(&deep, "gzip", 1, short()));
+        assert_ne!(k, TraceCache::key(&cfg, "mcf", 1, short()));
+        assert_ne!(k, TraceCache::key(&cfg, "gzip", 2, short()));
+        assert_ne!(k, TraceCache::key(&cfg, "gzip", 1, RunLength::quick()));
+    }
+
+    #[test]
+    fn corrupt_entry_falls_back_to_live() {
+        let cache = scratch("corrupt");
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let profile = Spec2000::by_name("gzip").unwrap();
+
+        let mut base = NoGating::new(&cfg, &groups);
+        let clean = cache.run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base]);
+
+        // Truncate the entry: the validation scan must reject and delete
+        // it, and the next cached run must still produce the same result.
+        let key = TraceCache::key(&cfg, profile.name, 5, short());
+        let path = cache.entry_path(profile.name, key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        assert!(cache
+            .replay_source(&cfg, profile.name, 5, short())
+            .is_none());
+        assert!(!path.exists(), "invalid entries are deleted");
+
+        let mut base2 = NoGating::new(&cfg, &groups);
+        let relive = cache.run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base2]);
+        assert_eq!(report_bits(&clean), report_bits(&relive));
+    }
+}

@@ -45,18 +45,25 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod cache;
 mod dcg;
 mod plb;
 mod policy;
 mod runner;
+mod sinks;
+mod source;
 
+pub use cache::{TraceCache, TRACE_CACHE_ENV};
 pub use dcg::{Dcg, DcgOptions};
 pub use plb::{Plb, PlbConfig, PlbMode, PlbVariant};
 pub use policy::{GatingPolicy, NoGating};
 pub use runner::{
-    run_active, run_oracle, run_passive, run_wattch_styles, GatingAudit, PassiveRun, PolicyOutcome,
-    RunLength, WattchStyles,
+    drive, run_active, run_active_source, run_oracle, run_oracle_source, run_passive,
+    run_passive_source, run_wattch_styles, run_wattch_styles_source, GatingAudit, PassiveRun,
+    PolicyOutcome, RunLength, WattchStyles,
 };
+pub use sinks::ActivitySink;
+pub use source::{ActivitySource, ReplaySource};
 
 /// Bitmask with the low `n` bits set (shared by the policies).
 pub(crate) fn mask_of(n: usize) -> u32 {

@@ -22,6 +22,16 @@ pub trait GatingPolicy {
     /// Gate state for cycle `cycle`, decided ahead of its execution.
     fn gate_for(&mut self, cycle: u64) -> GateState;
 
+    /// [`GatingPolicy::gate_for`] writing into a caller-owned state.
+    ///
+    /// The driver loop calls this once per cycle with a reused scratch
+    /// value; policies whose gate state is cheap to copy in place (the
+    /// ungated baseline) override it to avoid a heap allocation per
+    /// cycle. Must produce exactly the value `gate_for` would return.
+    fn gate_into(&mut self, cycle: u64, out: &mut GateState) {
+        *out = self.gate_for(cycle);
+    }
+
     /// Resource constraints for the upcoming cycle.
     fn constraints(&self) -> ResourceConstraints;
 
@@ -62,6 +72,10 @@ impl NoGating {
 impl GatingPolicy for NoGating {
     fn gate_for(&mut self, _cycle: u64) -> GateState {
         self.gate.clone()
+    }
+
+    fn gate_into(&mut self, _cycle: u64, out: &mut GateState) {
+        out.clone_from(&self.gate);
     }
 
     fn constraints(&self) -> ResourceConstraints {

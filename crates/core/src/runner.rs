@@ -1,5 +1,12 @@
 //! Drives a simulation under one or more gating policies, with energy
 //! accounting and the DCG safety audit.
+//!
+//! All run variants share **one** warm-up/measure driver loop, [`drive`]:
+//! an [`ActivitySource`] produces one [`dcg_sim::CycleActivity`] per
+//! cycle and any number of [`ActivitySink`]s consume it by reference.
+//! Passive-policy evaluation therefore works identically from a live
+//! [`dcg_sim::Processor`] or from a recorded activity trace replayed via
+//! [`crate::ReplaySource`] — the simulate-once architecture.
 
 use dcg_isa::FuClass;
 use dcg_power::{GateState, PowerModel, PowerReport};
@@ -7,6 +14,8 @@ use dcg_sim::{CycleActivity, LatchGroups, Processor, SimConfig, SimStats};
 use dcg_workloads::InstStream;
 
 use crate::policy::GatingPolicy;
+use crate::sinks::{ActivitySink, OracleSink, PolicySink, StatsSink, WattchSink};
+use crate::source::ActivitySource;
 
 /// Run-length parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +75,7 @@ pub struct GatingAudit {
 }
 
 impl GatingAudit {
-    fn check(&mut self, gate: &GateState, act: &CycleActivity, strict: bool) {
+    pub(crate) fn check(&mut self, gate: &GateState, act: &CycleActivity, strict: bool) {
         let mut violations = 0u64;
         for c in FuClass::ALL {
             if c == FuClass::MemPort {
@@ -118,6 +127,55 @@ pub struct PassiveRun {
     pub stats: SimStats,
 }
 
+/// The single warm-up/measure driver loop behind every run variant.
+///
+/// Pulls cycles from `source` until `length.warmup_insts +
+/// length.measure_insts` instructions have committed, fanning each
+/// cycle's activity to all `sinks`. Before the first cycle at or past the
+/// warm-up boundary, every sink's [`ActivitySink::begin_measure`] fires
+/// exactly once. Sinks that constrain resources (active policies) are
+/// polled each cycle; the constraints are forwarded to the source, which
+/// must be a live simulation.
+pub fn drive(
+    source: &mut dyn ActivitySource,
+    sinks: &mut [&mut dyn ActivitySink],
+    length: RunLength,
+) {
+    let warm = length.warmup_insts;
+    let target = warm + length.measure_insts;
+    let mut measuring = false;
+    while source.committed() < target {
+        if !measuring && source.committed() >= warm {
+            measuring = true;
+            for s in sinks.iter_mut() {
+                s.begin_measure();
+            }
+        }
+        for s in sinks.iter_mut() {
+            if let Some(c) = s.constraints() {
+                source.apply_constraints(c);
+            }
+        }
+        let act = source.next_cycle();
+        if measuring {
+            for s in sinks.iter_mut() {
+                s.measure_cycle(act);
+            }
+        } else {
+            for s in sinks.iter_mut() {
+                s.warmup_cycle(act);
+            }
+        }
+    }
+    if !measuring {
+        // Degenerate zero-length measure window: still open it so sinks
+        // observe the boundary.
+        for s in sinks.iter_mut() {
+            s.begin_measure();
+        }
+    }
+}
+
 /// Run `stream` on `config` evaluating several **passive** policies (and
 /// implicitly sharing one timing simulation, since passive policies cannot
 /// perturb it). Returns one outcome per policy, in order.
@@ -134,6 +192,35 @@ pub fn run_passive<S: InstStream>(
     length: RunLength,
     policies: &mut [&mut dyn GatingPolicy],
 ) -> PassiveRun {
+    let mut cpu = Processor::new(config.clone(), stream);
+    run_passive_source(config, &mut cpu, length, policies)
+}
+
+/// [`run_passive`] over an arbitrary [`ActivitySource`] — e.g. a
+/// [`crate::ReplaySource`] over a recorded activity trace, which skips
+/// the timing simulation entirely.
+///
+/// # Panics
+///
+/// As [`run_passive`].
+pub fn run_passive_source(
+    config: &SimConfig,
+    source: &mut dyn ActivitySource,
+    length: RunLength,
+    policies: &mut [&mut dyn GatingPolicy],
+) -> PassiveRun {
+    run_passive_with_extra(config, source, length, policies, &mut [])
+}
+
+/// Passive run with additional sinks riding on the same pass (the trace
+/// cache attaches its recorder here).
+pub(crate) fn run_passive_with_extra(
+    config: &SimConfig,
+    source: &mut dyn ActivitySource,
+    length: RunLength,
+    policies: &mut [&mut dyn GatingPolicy],
+    extra: &mut [&mut dyn ActivitySink],
+) -> PassiveRun {
     for p in policies.iter() {
         assert!(
             p.is_passive(),
@@ -141,51 +228,34 @@ pub fn run_passive<S: InstStream>(
             p.name()
         );
     }
-    let mut cpu = Processor::new(config.clone(), stream);
-    let model = PowerModel::new(config, cpu.latch_groups());
-    let groups: LatchGroups = cpu.latch_groups().clone();
+    let groups = LatchGroups::new(&config.depth);
+    let model = PowerModel::new(config, &groups);
 
-    let mut reports: Vec<PowerReport> = policies.iter().map(|_| PowerReport::new()).collect();
-    let mut audits: Vec<GatingAudit> = policies.iter().map(|_| GatingAudit::default()).collect();
-
-    // Warm-up: policies observe so their pipes are primed, but nothing is
-    // recorded.
-    let warm_target = length.warmup_insts;
-    while cpu.committed() < warm_target {
-        let cycle = cpu.cycle() + 1;
-        let gates: Vec<GateState> = policies.iter_mut().map(|p| p.gate_for(cycle)).collect();
-        let act = cpu.step();
-        for (p, _g) in policies.iter_mut().zip(&gates) {
-            p.observe(act);
-        }
-    }
-
-    let stats_at_warm = cpu.stats().clone();
-    let target = warm_target + length.measure_insts;
-    while cpu.committed() < target {
-        let cycle = cpu.cycle() + 1;
-        let gates: Vec<GateState> = policies.iter_mut().map(|p| p.gate_for(cycle)).collect();
-        let act = cpu.step().clone();
-        for (i, p) in policies.iter_mut().enumerate() {
-            debug_assert!(gates[i].validate(config, &groups).is_ok());
-            audits[i].check(&gates[i], &act, true);
-            reports[i].record(&model.cycle_energy(&act, &gates[i]), act.committed);
-            p.observe(&act);
-        }
-    }
-
-    let stats = cpu.stats().delta(&stats_at_warm);
-    let outcomes = policies
-        .iter()
-        .zip(reports)
-        .zip(audits)
-        .map(|((p, report), audit)| PolicyOutcome {
-            name: p.name().to_string(),
-            report,
-            audit,
-        })
+    let mut policy_sinks: Vec<PolicySink<'_>> = policies
+        .iter_mut()
+        .map(|p| PolicySink::new(&mut **p, &model, config, &groups, true, false))
         .collect();
-    PassiveRun { outcomes, stats }
+    let mut stats = StatsSink::new();
+    {
+        let mut sinks: Vec<&mut dyn ActivitySink> =
+            Vec::with_capacity(policy_sinks.len() + 1 + extra.len());
+        for s in policy_sinks.iter_mut() {
+            sinks.push(s);
+        }
+        sinks.push(&mut stats);
+        for e in extra.iter_mut() {
+            sinks.push(&mut **e);
+        }
+        drive(source, &mut sinks, length);
+    }
+
+    PassiveRun {
+        outcomes: policy_sinks
+            .into_iter()
+            .map(PolicySink::into_outcome)
+            .collect(),
+        stats: stats.into_stats(),
+    }
 }
 
 /// Run `stream` on `config` under the **clairvoyant oracle**: every
@@ -204,36 +274,21 @@ pub fn run_oracle<S: InstStream>(
     length: RunLength,
 ) -> PolicyOutcome {
     let mut cpu = Processor::new(config.clone(), stream);
-    let model = PowerModel::new(config, cpu.latch_groups());
-    let groups = cpu.latch_groups().clone();
-    let base = GateState::ungated(config, &groups);
+    run_oracle_source(config, &mut cpu, length)
+}
 
-    while cpu.committed() < length.warmup_insts {
-        cpu.step();
-    }
-    let mut report = PowerReport::new();
-    let target = length.warmup_insts + length.measure_insts;
-    while cpu.committed() < target {
-        let act = cpu.step().clone();
-        let mut gate = base.clone();
-        for c in FuClass::ALL {
-            gate.fu_powered[c.index()] = act.fu_active[c.index()];
-        }
-        gate.dcache_ports_powered = act.dcache_port_mask;
-        gate.result_buses_powered = act.result_bus_used;
-        gate.latch_slots = groups
-            .specs()
-            .iter()
-            .zip(&act.latch_occupancy)
-            .map(|(s, occ)| if s.gated { Some(*occ) } else { None })
-            .collect();
-        report.record(&model.cycle_energy(&act, &gate), act.committed);
-    }
-    PolicyOutcome {
-        name: "oracle".to_string(),
-        report,
-        audit: GatingAudit::default(),
-    }
+/// [`run_oracle`] over an arbitrary [`ActivitySource`] (the oracle only
+/// reads activity, so a replayed trace serves as well as a live run).
+pub fn run_oracle_source(
+    config: &SimConfig,
+    source: &mut dyn ActivitySource,
+    length: RunLength,
+) -> PolicyOutcome {
+    let groups = LatchGroups::new(&config.depth);
+    let model = PowerModel::new(config, &groups);
+    let mut sink = OracleSink::new(&model, config, &groups);
+    drive(source, &mut [&mut sink], length);
+    sink.into_outcome()
 }
 
 /// Reports for Wattch's idealized conditional-clocking reference styles,
@@ -287,59 +342,20 @@ pub fn run_wattch_styles<S: InstStream>(
     length: RunLength,
 ) -> WattchStyles {
     let mut cpu = Processor::new(config.clone(), stream);
-    let model = PowerModel::new(config, cpu.latch_groups());
-    let groups = cpu.latch_groups().clone();
-    let ungated = GateState::ungated(config, &groups);
+    run_wattch_styles_source(config, &mut cpu, length)
+}
 
-    while cpu.committed() < length.warmup_insts {
-        cpu.step();
-    }
-    let mut full = PowerReport::new();
-    let mut cc1 = PowerReport::new();
-    let mut cc2 = PowerReport::new();
-    let target = length.warmup_insts + length.measure_insts;
-    while cpu.committed() < target {
-        let act = cpu.step().clone();
-
-        // cc2: exact per-instance usage.
-        let mut g2 = ungated.clone();
-        for c in FuClass::ALL {
-            g2.fu_powered[c.index()] = act.fu_active[c.index()];
-        }
-        g2.dcache_ports_powered = act.dcache_port_mask;
-        g2.result_buses_powered = act.result_bus_used;
-        g2.latch_slots = groups
-            .specs()
-            .iter()
-            .zip(&act.latch_occupancy)
-            .map(|(s, occ)| if s.gated { Some(*occ) } else { None })
-            .collect();
-
-        // cc1: all instances of a class powered if any is used.
-        let mut g1 = ungated.clone();
-        for c in FuClass::ALL {
-            if act.fu_active[c.index()] == 0 {
-                g1.fu_powered[c.index()] = 0;
-            }
-        }
-        if act.dcache_port_mask == 0 {
-            g1.dcache_ports_powered = 0;
-        }
-        if act.result_bus_used == 0 {
-            g1.result_buses_powered = 0;
-        }
-        g1.latch_slots = groups
-            .specs()
-            .iter()
-            .zip(&act.latch_occupancy)
-            .map(|(s, occ)| if s.gated && *occ == 0 { Some(0) } else { None })
-            .collect();
-
-        full.record(&model.cycle_energy(&act, &ungated), act.committed);
-        cc1.record(&model.cycle_energy(&act, &g1), act.committed);
-        cc2.record(&model.cycle_energy(&act, &g2), act.committed);
-    }
-    WattchStyles { full, cc1, cc2 }
+/// [`run_wattch_styles`] over an arbitrary [`ActivitySource`].
+pub fn run_wattch_styles_source(
+    config: &SimConfig,
+    source: &mut dyn ActivitySource,
+    length: RunLength,
+) -> WattchStyles {
+    let groups = LatchGroups::new(&config.depth);
+    let model = PowerModel::new(config, &groups);
+    let mut sink = WattchSink::new(&model, config, &groups);
+    drive(source, &mut [&mut sink], length);
+    sink.into_styles()
 }
 
 /// Run `stream` on `config` under one **active** policy (PLB): the policy's
@@ -355,35 +371,32 @@ pub fn run_active<S: InstStream>(
     policy: &mut dyn GatingPolicy,
 ) -> PolicyOutcome {
     let mut cpu = Processor::new(config.clone(), stream);
-    let model = PowerModel::new(config, cpu.latch_groups());
+    run_active_source(config, &mut cpu, length, policy)
+}
 
-    while cpu.committed() < length.warmup_insts {
-        let cycle = cpu.cycle() + 1;
-        let gate = policy.gate_for(cycle);
-        cpu.set_constraints(policy.constraints());
-        let act = cpu.step();
-        let _ = gate;
-        policy.observe(act);
-    }
-
-    let mut report = PowerReport::new();
-    let mut audit = GatingAudit::default();
-    let target = length.warmup_insts + length.measure_insts;
-    while cpu.committed() < target {
-        let cycle = cpu.cycle() + 1;
-        let gate = policy.gate_for(cycle);
-        cpu.set_constraints(policy.constraints());
-        let act = cpu.step().clone();
-        audit.check(&gate, &act, false);
-        report.record(&model.cycle_energy(&act, &gate), act.committed);
-        policy.observe(&act);
-    }
-
-    PolicyOutcome {
-        name: policy.name().to_string(),
-        report,
-        audit,
-    }
+/// [`run_active`] over an explicit source.
+///
+/// # Panics
+///
+/// Panics if `source` cannot honor resource constraints (a replayed
+/// trace): an active policy's constraints shape the timing, so it needs a
+/// live simulation.
+pub fn run_active_source(
+    config: &SimConfig,
+    source: &mut dyn ActivitySource,
+    length: RunLength,
+    policy: &mut dyn GatingPolicy,
+) -> PolicyOutcome {
+    assert!(
+        source.supports_constraints(),
+        "active policy {} needs a live simulation source",
+        policy.name()
+    );
+    let groups = LatchGroups::new(&config.depth);
+    let model = PowerModel::new(config, &groups);
+    let mut sink = PolicySink::new(policy, &model, config, &groups, false, true);
+    drive(source, &mut [&mut sink], length);
+    sink.into_outcome()
 }
 
 #[cfg(test)]
@@ -499,5 +512,19 @@ mod tests {
         let groups = LatchGroups::new(&cfg.depth);
         let mut plb = Plb::new(PlbVariant::Orig, &cfg, &groups);
         let _ = run_passive(&cfg, stream("gzip"), RunLength::quick(), &mut [&mut plb]);
+    }
+
+    #[test]
+    fn zero_warmup_measures_from_first_cycle() {
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let mut base = NoGating::new(&cfg, &groups);
+        let length = RunLength {
+            warmup_insts: 0,
+            measure_insts: 2_000,
+        };
+        let run = run_passive(&cfg, stream("gzip"), length, &mut [&mut base]);
+        assert!(run.stats.committed >= 2_000);
+        assert_eq!(run.stats.cycles, run.outcomes[0].report.cycles());
     }
 }

@@ -1,0 +1,322 @@
+//! Consumers of the per-cycle activity stream.
+//!
+//! One [`drive`](crate::drive) pass fans each cycle's
+//! [`CycleActivity`] out to any number of sinks: policy evaluation with
+//! energy accounting and the gating audit, Wattch/oracle reference
+//! accounting, statistics accumulation, and trace recording. Because
+//! every sink takes the activity by reference, adding consumers never
+//! adds simulation passes — the "simulate once" architecture.
+
+use std::io::Write;
+
+use dcg_isa::FuClass;
+use dcg_power::{GateState, PowerModel, PowerReport};
+use dcg_sim::{CycleActivity, LatchGroups, ResourceConstraints, SimConfig, SimStats};
+use dcg_trace::{ActivityTraceWriter, TraceError};
+
+use crate::policy::GatingPolicy;
+use crate::runner::{GatingAudit, PolicyOutcome, WattchStyles};
+
+/// A consumer of per-cycle activity.
+///
+/// [`drive`](crate::drive) calls [`ActivitySink::warmup_cycle`] for every
+/// cycle before the measurement window opens,
+/// [`ActivitySink::begin_measure`] exactly once at the window boundary,
+/// and [`ActivitySink::measure_cycle`] for every measured cycle.
+/// [`ActivitySink::constraints`] is polled before each cycle; a sink
+/// wrapping an active policy returns its resource limits there (which
+/// only a live simulation source can honor).
+pub trait ActivitySink {
+    /// Observe a warm-up cycle (nothing should be recorded).
+    fn warmup_cycle(&mut self, _act: &CycleActivity) {}
+
+    /// The measurement window opens; the next cycle is measured.
+    fn begin_measure(&mut self) {}
+
+    /// Observe and account one measured cycle.
+    fn measure_cycle(&mut self, act: &CycleActivity);
+
+    /// Resource constraints to apply to the upcoming cycle, if any.
+    fn constraints(&self) -> Option<ResourceConstraints> {
+        None
+    }
+}
+
+/// Evaluates one gating policy: per-cycle gate state, safety audit and
+/// energy accounting.
+pub(crate) struct PolicySink<'a> {
+    policy: &'a mut dyn GatingPolicy,
+    model: &'a PowerModel,
+    config: &'a SimConfig,
+    groups: &'a LatchGroups,
+    /// Strict audit: panic the moment a gated block is used (DCG's
+    /// determinism guarantee). Active policies audit non-strictly.
+    strict: bool,
+    /// Forward the policy's resource constraints to the source (active
+    /// runs only; passive policies never constrain).
+    constrain: bool,
+    report: PowerReport,
+    audit: GatingAudit,
+    /// Scratch gate state reused across cycles (see
+    /// [`GatingPolicy::gate_into`]).
+    gate: GateState,
+}
+
+impl<'a> PolicySink<'a> {
+    pub(crate) fn new(
+        policy: &'a mut dyn GatingPolicy,
+        model: &'a PowerModel,
+        config: &'a SimConfig,
+        groups: &'a LatchGroups,
+        strict: bool,
+        constrain: bool,
+    ) -> PolicySink<'a> {
+        let gate = GateState::ungated(config, groups);
+        PolicySink {
+            policy,
+            model,
+            config,
+            groups,
+            strict,
+            constrain,
+            report: PowerReport::new(),
+            audit: GatingAudit::default(),
+            gate,
+        }
+    }
+
+    pub(crate) fn into_outcome(self) -> PolicyOutcome {
+        PolicyOutcome {
+            name: self.policy.name().to_string(),
+            report: self.report,
+            audit: self.audit,
+        }
+    }
+}
+
+impl ActivitySink for PolicySink<'_> {
+    fn warmup_cycle(&mut self, act: &CycleActivity) {
+        // Keep the policy's pipelined control state primed, but record
+        // nothing.
+        self.policy.gate_into(act.cycle, &mut self.gate);
+        self.policy.observe(act);
+    }
+
+    fn measure_cycle(&mut self, act: &CycleActivity) {
+        self.policy.gate_into(act.cycle, &mut self.gate);
+        debug_assert!(self.gate.validate(self.config, self.groups).is_ok());
+        self.audit.check(&self.gate, act, self.strict);
+        self.report
+            .record(&self.model.cycle_energy(act, &self.gate), act.committed);
+        self.policy.observe(act);
+    }
+
+    fn constraints(&self) -> Option<ResourceConstraints> {
+        self.constrain.then(|| self.policy.constraints())
+    }
+}
+
+/// Clairvoyant-oracle accounting: every gateable block powered exactly in
+/// the cycles it is used (see [`crate::run_oracle`]).
+pub(crate) struct OracleSink<'a> {
+    model: &'a PowerModel,
+    groups: &'a LatchGroups,
+    base: GateState,
+    report: PowerReport,
+}
+
+impl<'a> OracleSink<'a> {
+    pub(crate) fn new(
+        model: &'a PowerModel,
+        config: &SimConfig,
+        groups: &'a LatchGroups,
+    ) -> OracleSink<'a> {
+        OracleSink {
+            model,
+            groups,
+            base: GateState::ungated(config, groups),
+            report: PowerReport::new(),
+        }
+    }
+
+    pub(crate) fn into_outcome(self) -> PolicyOutcome {
+        PolicyOutcome {
+            name: "oracle".to_string(),
+            report: self.report,
+            audit: GatingAudit::default(),
+        }
+    }
+}
+
+impl ActivitySink for OracleSink<'_> {
+    fn measure_cycle(&mut self, act: &CycleActivity) {
+        let mut gate = self.base.clone();
+        for c in FuClass::ALL {
+            gate.fu_powered[c.index()] = act.fu_active[c.index()];
+        }
+        gate.dcache_ports_powered = act.dcache_port_mask;
+        gate.result_buses_powered = act.result_bus_used;
+        gate.latch_slots = self
+            .groups
+            .specs()
+            .iter()
+            .zip(&act.latch_occupancy)
+            .map(|(s, occ)| if s.gated { Some(*occ) } else { None })
+            .collect();
+        self.report
+            .record(&self.model.cycle_energy(act, &gate), act.committed);
+    }
+}
+
+/// Wattch `cc0`/`cc1`/`cc2` reference accounting (see
+/// [`crate::run_wattch_styles`]).
+pub(crate) struct WattchSink<'a> {
+    model: &'a PowerModel,
+    groups: &'a LatchGroups,
+    ungated: GateState,
+    full: PowerReport,
+    cc1: PowerReport,
+    cc2: PowerReport,
+}
+
+impl<'a> WattchSink<'a> {
+    pub(crate) fn new(
+        model: &'a PowerModel,
+        config: &SimConfig,
+        groups: &'a LatchGroups,
+    ) -> WattchSink<'a> {
+        WattchSink {
+            model,
+            groups,
+            ungated: GateState::ungated(config, groups),
+            full: PowerReport::new(),
+            cc1: PowerReport::new(),
+            cc2: PowerReport::new(),
+        }
+    }
+
+    pub(crate) fn into_styles(self) -> WattchStyles {
+        WattchStyles {
+            full: self.full,
+            cc1: self.cc1,
+            cc2: self.cc2,
+        }
+    }
+}
+
+impl ActivitySink for WattchSink<'_> {
+    fn measure_cycle(&mut self, act: &CycleActivity) {
+        // cc2: exact per-instance usage.
+        let mut g2 = self.ungated.clone();
+        for c in FuClass::ALL {
+            g2.fu_powered[c.index()] = act.fu_active[c.index()];
+        }
+        g2.dcache_ports_powered = act.dcache_port_mask;
+        g2.result_buses_powered = act.result_bus_used;
+        g2.latch_slots = self
+            .groups
+            .specs()
+            .iter()
+            .zip(&act.latch_occupancy)
+            .map(|(s, occ)| if s.gated { Some(*occ) } else { None })
+            .collect();
+
+        // cc1: all instances of a class powered if any is used.
+        let mut g1 = self.ungated.clone();
+        for c in FuClass::ALL {
+            if act.fu_active[c.index()] == 0 {
+                g1.fu_powered[c.index()] = 0;
+            }
+        }
+        if act.dcache_port_mask == 0 {
+            g1.dcache_ports_powered = 0;
+        }
+        if act.result_bus_used == 0 {
+            g1.result_buses_powered = 0;
+        }
+        g1.latch_slots = self
+            .groups
+            .specs()
+            .iter()
+            .zip(&act.latch_occupancy)
+            .map(|(s, occ)| if s.gated && *occ == 0 { Some(0) } else { None })
+            .collect();
+
+        self.full
+            .record(&self.model.cycle_energy(act, &self.ungated), act.committed);
+        self.cc1
+            .record(&self.model.cycle_energy(act, &g1), act.committed);
+        self.cc2
+            .record(&self.model.cycle_energy(act, &g2), act.committed);
+    }
+}
+
+/// Accumulates [`SimStats`] over the measured window.
+///
+/// Statistics are a pure fold over the activity stream
+/// ([`SimStats::record`]), so a replayed trace reconstructs them
+/// bit-identically to the live simulation's own counters.
+#[derive(Debug, Default)]
+pub(crate) struct StatsSink {
+    stats: SimStats,
+}
+
+impl StatsSink {
+    pub(crate) fn new() -> StatsSink {
+        StatsSink::default()
+    }
+
+    pub(crate) fn into_stats(self) -> SimStats {
+        self.stats
+    }
+}
+
+impl ActivitySink for StatsSink {
+    fn measure_cycle(&mut self, act: &CycleActivity) {
+        self.stats.record(act);
+    }
+}
+
+/// Streams every cycle (warm-up included) into an activity-trace writer.
+///
+/// Write errors are stashed rather than propagated — a failing recorder
+/// must not abort the simulation it is riding on; [`RecorderSink::finish`]
+/// surfaces the first error so the caller can discard the partial trace.
+pub(crate) struct RecorderSink<W: Write> {
+    writer: ActivityTraceWriter<W>,
+    error: Option<TraceError>,
+}
+
+impl<W: Write> RecorderSink<W> {
+    pub(crate) fn new(writer: ActivityTraceWriter<W>) -> RecorderSink<W> {
+        RecorderSink {
+            writer,
+            error: None,
+        }
+    }
+
+    fn write(&mut self, act: &CycleActivity) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.write_cycle(act) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> Result<W, TraceError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => self.writer.finish(),
+        }
+    }
+}
+
+impl<W: Write> ActivitySink for RecorderSink<W> {
+    fn warmup_cycle(&mut self, act: &CycleActivity) {
+        self.write(act);
+    }
+
+    fn measure_cycle(&mut self, act: &CycleActivity) {
+        self.write(act);
+    }
+}

@@ -1,0 +1,207 @@
+//! Where per-cycle activity comes from: a live simulation or a recorded
+//! trace.
+//!
+//! Passive gating policies cannot perturb timing, so the activity stream
+//! of one simulation is valid input for *any* set of passive consumers.
+//! [`ActivitySource`] abstracts over the two producers:
+//!
+//! * a live [`Processor`] — steps the timing simulation one cycle at a
+//!   time (required for active policies, which constrain resources);
+//! * a [`ReplaySource`] — decodes a previously recorded activity trace,
+//!   skipping the timing simulation entirely (the "simulate once"
+//!   architecture).
+
+use std::fmt;
+
+use dcg_sim::{CycleActivity, Processor, ResourceConstraints};
+use dcg_trace::{ActivityHeader, ActivityTraceReader};
+use dcg_workloads::InstStream;
+
+/// A producer of one [`CycleActivity`] record per simulated cycle.
+///
+/// The contract mirrors [`Processor::step`]: each call to
+/// [`ActivitySource::next_cycle`] advances exactly one cycle and returns
+/// that cycle's complete activity; [`ActivitySource::committed`] and
+/// [`ActivitySource::cycle`] report running totals *after* the last
+/// produced cycle.
+pub trait ActivitySource {
+    /// Produce the next cycle's activity.
+    fn next_cycle(&mut self) -> &CycleActivity;
+
+    /// Instructions committed so far.
+    fn committed(&self) -> u64;
+
+    /// Cycles produced so far.
+    fn cycle(&self) -> u64;
+
+    /// `true` if this source can honor [`ResourceConstraints`] (only live
+    /// simulations can; replays are immutable history).
+    fn supports_constraints(&self) -> bool;
+
+    /// Apply resource constraints to the upcoming cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not support constraints (see
+    /// [`ActivitySource::supports_constraints`]).
+    fn apply_constraints(&mut self, constraints: ResourceConstraints);
+}
+
+impl<S: InstStream> ActivitySource for Processor<S> {
+    fn next_cycle(&mut self) -> &CycleActivity {
+        self.step()
+    }
+
+    fn committed(&self) -> u64 {
+        Processor::committed(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        Processor::cycle(self)
+    }
+
+    fn supports_constraints(&self) -> bool {
+        true
+    }
+
+    fn apply_constraints(&mut self, constraints: ResourceConstraints) {
+        self.set_constraints(constraints);
+    }
+}
+
+/// Replays a recorded activity trace as an [`ActivitySource`].
+///
+/// Replay is only valid for **passive** consumption: the recorded stream
+/// is immutable history, so any attempt to constrain resources (an active
+/// policy such as PLB) panics.
+pub struct ReplaySource {
+    reader: ActivityTraceReader,
+    act: CycleActivity,
+}
+
+impl ReplaySource {
+    /// Wrap an open activity-trace reader, rewound to the first record.
+    pub fn new(mut reader: ActivityTraceReader) -> ReplaySource {
+        reader.rewind();
+        ReplaySource {
+            reader,
+            act: CycleActivity::default(),
+        }
+    }
+
+    /// The trace header (identity of the producing simulation).
+    pub fn header(&self) -> &ActivityHeader {
+        self.reader.header()
+    }
+}
+
+impl fmt::Debug for ReplaySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplaySource")
+            .field("header", self.reader.header())
+            .field("cycles", &self.reader.cycles_read())
+            .field("committed", &self.reader.committed())
+            .finish()
+    }
+}
+
+impl ActivitySource for ReplaySource {
+    fn next_cycle(&mut self) -> &CycleActivity {
+        match self.reader.read_cycle(&mut self.act) {
+            Ok(true) => &self.act,
+            Ok(false) => panic!(
+                "activity trace '{}' ended early at cycle {} ({} committed); \
+                 the run wants more cycles than were recorded",
+                self.reader.header().name,
+                self.reader.cycles_read(),
+                self.reader.committed()
+            ),
+            Err(e) => panic!(
+                "activity trace '{}' is corrupt at cycle {}: {e}",
+                self.reader.header().name,
+                self.reader.cycles_read() + 1
+            ),
+        }
+    }
+
+    fn committed(&self) -> u64 {
+        self.reader.committed()
+    }
+
+    fn cycle(&self) -> u64 {
+        self.reader.cycles_read()
+    }
+
+    fn supports_constraints(&self) -> bool {
+        false
+    }
+
+    fn apply_constraints(&mut self, _constraints: ResourceConstraints) {
+        panic!(
+            "replayed activity cannot honor resource constraints; \
+             active policies need a live simulation run"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcg_sim::SimConfig;
+    use dcg_trace::ActivityTraceWriter;
+    use dcg_workloads::{Spec2000, SyntheticWorkload};
+
+    fn recorded(cycles: usize) -> Vec<u8> {
+        let cfg = SimConfig::baseline_8wide();
+        let mut cpu = Processor::new(
+            cfg.clone(),
+            SyntheticWorkload::new(Spec2000::by_name("gzip").unwrap(), 3),
+        );
+        let groups = cpu.latch_groups().len();
+        let header =
+            ActivityHeader::new("gzip", cfg.digest(), 3, 0, 1_000, groups).expect("header");
+        let mut w = ActivityTraceWriter::new(Vec::new(), &header).expect("writer");
+        for _ in 0..cycles {
+            w.write_cycle(cpu.step()).expect("record");
+        }
+        w.finish().expect("finish")
+    }
+
+    #[test]
+    fn replay_matches_live_cycles() {
+        let bytes = recorded(200);
+        let cfg = SimConfig::baseline_8wide();
+        let mut live = Processor::new(
+            cfg.clone(),
+            SyntheticWorkload::new(Spec2000::by_name("gzip").unwrap(), 3),
+        );
+        let mut replay = ReplaySource::new(ActivityTraceReader::new(&bytes[..]).expect("reader"));
+        assert!(!replay.supports_constraints());
+        for _ in 0..200 {
+            let a = live.step().clone();
+            let b = replay.next_cycle();
+            assert_eq!(&a, b);
+        }
+        assert_eq!(ActivitySource::committed(&live), replay.committed());
+        assert_eq!(ActivitySource::cycle(&live), replay.cycle());
+    }
+
+    #[test]
+    #[should_panic(expected = "ended early")]
+    fn replay_past_end_panics() {
+        let bytes = recorded(5);
+        let mut replay = ReplaySource::new(ActivityTraceReader::new(&bytes[..]).expect("reader"));
+        for _ in 0..6 {
+            replay.next_cycle();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot honor resource constraints")]
+    fn replay_rejects_constraints() {
+        let bytes = recorded(1);
+        let cfg = SimConfig::baseline_8wide();
+        let mut replay = ReplaySource::new(ActivityTraceReader::new(&bytes[..]).expect("reader"));
+        replay.apply_constraints(ResourceConstraints::unrestricted(&cfg));
+    }
+}

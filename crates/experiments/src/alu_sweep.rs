@@ -5,7 +5,7 @@
 //! units and 92.7 % with 4 — concluding 6 units are power/performance
 //! optimal, which Table 1 then uses. This module regenerates that sweep.
 
-use dcg_core::{run_passive, NoGating, RunLength};
+use dcg_core::{run_passive, NoGating, RunLength, TraceCache};
 use dcg_sim::{LatchGroups, SimConfig};
 use dcg_workloads::{Spec2000, SyntheticWorkload};
 
@@ -15,26 +15,46 @@ use crate::table::FigureTable;
 /// Integer-ALU counts swept (the paper's §4.4 set).
 pub const ALU_COUNTS: [usize; 3] = [8, 6, 4];
 
-fn ipc_with_alus(base: &SimConfig, alus: usize, seed: u64, length: RunLength, name: &str) -> f64 {
+fn ipc_with_alus(
+    base: &SimConfig,
+    alus: usize,
+    seed: u64,
+    length: RunLength,
+    name: &str,
+    cache: Option<&TraceCache>,
+) -> f64 {
     let cfg = SimConfig {
         int_alus: alus,
         ..base.clone()
     };
     let groups = LatchGroups::new(&cfg.depth);
     let mut policy = NoGating::new(&cfg, &groups);
-    let run = run_passive(
-        &cfg,
-        SyntheticWorkload::new(Spec2000::by_name(name).expect("known benchmark"), seed),
-        length,
-        &mut [&mut policy],
-    );
+    let profile = Spec2000::by_name(name).expect("known benchmark");
+    let run = match cache {
+        Some(c) => c.run_passive_cached(&cfg, profile, seed, length, &mut [&mut policy]),
+        None => run_passive(
+            &cfg,
+            SyntheticWorkload::new(profile, seed),
+            length,
+            &mut [&mut policy],
+        ),
+    };
     run.stats.ipc()
 }
 
-/// Run the §4.4 sweep over the integer benchmarks in `cfg`.
+/// Run the §4.4 sweep over the integer benchmarks in `cfg`, using the
+/// environment's activity-trace cache (see [`TraceCache::from_env`]): on
+/// a warm cache every point replays recorded activity instead of
+/// re-simulating.
 ///
 /// Columns are relative performance (percent of the 8-ALU machine).
 pub fn alu_sweep(cfg: &ExperimentConfig) -> FigureTable {
+    alu_sweep_with(cfg, TraceCache::from_env().as_ref())
+}
+
+/// [`alu_sweep`] with an explicit cache choice (`None` = always simulate
+/// live).
+pub fn alu_sweep_with(cfg: &ExperimentConfig, cache: Option<&TraceCache>) -> FigureTable {
     let mut t = FigureTable::new(
         "section-4.4",
         "Relative performance vs integer-ALU count (% of 8-ALU IPC)",
@@ -48,7 +68,7 @@ pub fn alu_sweep(cfg: &ExperimentConfig) -> FigureTable {
     {
         let ipcs: Vec<f64> = ALU_COUNTS
             .iter()
-            .map(|n| ipc_with_alus(&cfg.sim, *n, cfg.seed, cfg.length, p.name))
+            .map(|n| ipc_with_alus(&cfg.sim, *n, cfg.seed, cfg.length, p.name, cache))
             .collect();
         let rel: Vec<f64> = ipcs.iter().map(|i| 100.0 * i / ipcs[0]).collect();
         for (w, r) in worst.iter_mut().zip(&rel) {

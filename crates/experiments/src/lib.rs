@@ -31,7 +31,7 @@ mod table;
 mod utilization;
 mod workload_stats;
 
-pub use alu_sweep::{alu_sweep, ALU_COUNTS};
+pub use alu_sweep::{alu_sweep, alu_sweep_with, ALU_COUNTS};
 pub use figures::{fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
 pub use phases::{phase_analysis, PhaseSeries};
 pub use suite::{BenchmarkRun, ExperimentConfig, Suite};

@@ -1,7 +1,11 @@
 //! Suite orchestration: run every benchmark under the baseline, DCG and
 //! (optionally) both PLB variants.
 
-use dcg_core::{run_active, run_passive, Dcg, NoGating, Plb, PlbVariant, PolicyOutcome, RunLength};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dcg_core::{
+    run_active, run_passive, Dcg, NoGating, Plb, PlbVariant, PolicyOutcome, RunLength, TraceCache,
+};
 use dcg_power::{Component, PowerReport};
 use dcg_sim::{LatchGroups, SimConfig, SimStats};
 use dcg_workloads::{BenchmarkProfile, Spec2000, SuiteKind, SyntheticWorkload};
@@ -175,39 +179,82 @@ pub struct Suite {
 
 impl Suite {
     /// Run the suite. `with_plb` also runs both PLB variants (three
-    /// simulations per benchmark instead of one). Benchmarks run on
-    /// parallel threads; results are returned in configuration order and
-    /// are bit-identical to a serial run (every simulation is
-    /// deterministic).
+    /// simulations per benchmark instead of one). Benchmarks are
+    /// dispatched to a worker pool sized by
+    /// [`std::thread::available_parallelism`] (never one thread per
+    /// benchmark); results are returned in configuration order and are
+    /// bit-identical to a serial run (every simulation is deterministic).
+    ///
+    /// The passive baseline/DCG portion goes through the activity-trace
+    /// cache when one is enabled (see [`TraceCache::from_env`]), so
+    /// re-running a suite on a warm cache replays recorded activity
+    /// instead of re-simulating the pipeline.
     pub fn run(cfg: &ExperimentConfig, with_plb: bool) -> Suite {
         let (runs, wall_ns) = dcg_testkit::bench::time(|| {
+            let n = cfg.benchmarks.len();
+            let workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(n.max(1));
+            let cache = TraceCache::from_env();
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<BenchmarkRun>> = (0..n).map(|_| None).collect();
             std::thread::scope(|scope| {
-                let handles: Vec<_> = cfg
-                    .benchmarks
-                    .iter()
-                    .map(|profile| scope.spawn(move || Self::run_one(cfg, *profile, with_plb)))
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let cache = cache.as_ref();
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                done.push((
+                                    i,
+                                    Self::run_one(cfg, cfg.benchmarks[i], with_plb, cache),
+                                ));
+                            }
+                            done
+                        })
+                    })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("benchmark thread panicked"))
-                    .collect()
-            })
+                for h in handles {
+                    for (i, run) in h.join().expect("benchmark worker panicked") {
+                        slots[i] = Some(run);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every benchmark index was claimed by a worker"))
+                .collect()
         });
         Suite { runs, wall_ns }
     }
 
     /// Run one benchmark under all requested schemes.
-    fn run_one(cfg: &ExperimentConfig, profile: BenchmarkProfile, with_plb: bool) -> BenchmarkRun {
+    fn run_one(
+        cfg: &ExperimentConfig,
+        profile: BenchmarkProfile,
+        with_plb: bool,
+        cache: Option<&TraceCache>,
+    ) -> BenchmarkRun {
         let started = std::time::Instant::now();
         let groups = LatchGroups::new(&cfg.sim.depth);
         let mut baseline = NoGating::new(&cfg.sim, &groups);
         let mut dcg = Dcg::new(&cfg.sim, &groups);
-        let mut run = run_passive(
-            &cfg.sim,
-            SyntheticWorkload::new(profile, cfg.seed),
-            cfg.length,
-            &mut [&mut baseline, &mut dcg],
-        );
+        let policies: &mut [&mut dyn dcg_core::GatingPolicy] = &mut [&mut baseline, &mut dcg];
+        let mut run = match cache {
+            Some(c) => c.run_passive_cached(&cfg.sim, profile, cfg.seed, cfg.length, policies),
+            None => run_passive(
+                &cfg.sim,
+                SyntheticWorkload::new(profile, cfg.seed),
+                cfg.length,
+                policies,
+            ),
+        };
         let dcg_out = run.outcomes.remove(1);
         let base_out = run.outcomes.remove(0);
 
@@ -289,6 +336,25 @@ mod tests {
                 "{}",
                 run.profile.name
             );
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_ordered_and_deterministic() {
+        let cfg = ExperimentConfig::quick();
+        let a = Suite::run(&cfg, false);
+        let b = Suite::run(&cfg, false);
+        let names: Vec<&str> = a.runs.iter().map(|r| r.profile.name).collect();
+        let expect: Vec<&str> = cfg.benchmarks.iter().map(|p| p.name).collect();
+        assert_eq!(names, expect, "results must stay in configuration order");
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(
+                x.dcg_total_saving().to_bits(),
+                y.dcg_total_saving().to_bits(),
+                "{}: repeated suite runs must be bit-identical",
+                x.profile.name
+            );
+            assert_eq!(x.stats.cycles, y.stats.cycles);
         }
     }
 

@@ -218,7 +218,14 @@ pub struct FuGrant {
 
 /// Everything that happened in (and is deterministically known at the end
 /// of) one simulated cycle.
-#[derive(Debug, Clone, Default)]
+///
+/// This record is the complete interface between the timing simulation and
+/// everything downstream (power accounting, gating policies, statistics):
+/// a recorded stream of `CycleActivity` replays bit-identically through
+/// any passive policy. The `dcg-trace` activity frame serializes every
+/// field; adding, removing or re-meaning a field requires bumping that
+/// format's schema constant so stale cached traces are invalidated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CycleActivity {
     /// Cycle number.
     pub cycle: u64,
@@ -259,6 +266,8 @@ pub struct CycleActivity {
     pub icache_miss: bool,
     /// Branch-predictor lookups.
     pub bpred_lookups: u32,
+    /// Branch-predictor lookups that mispredicted this cycle.
+    pub bpred_mispredicts: u32,
     /// Register-file read ports used (issued source operands).
     pub regfile_reads: u32,
     /// Register-file write ports used (writebacks).

@@ -352,6 +352,78 @@ impl SimConfig {
         }
     }
 
+    /// Stable 64-bit content digest over every configuration field
+    /// (FNV-1a, hand-rolled so it never changes across toolchains).
+    ///
+    /// Two configurations digest equally iff they simulate identically,
+    /// so the digest content-addresses cached activity traces: any field
+    /// change — widths, unit counts, cache geometry, latencies, pipeline
+    /// depth — yields a different digest and therefore a different cache
+    /// entry. Not a cryptographic hash.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut state = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                state ^= u64::from(byte);
+                state = state.wrapping_mul(PRIME);
+            }
+        };
+        for v in [
+            self.fetch_width as u64,
+            self.issue_width as u64,
+            self.commit_width as u64,
+            self.rob_entries as u64,
+            self.iq_entries as u64,
+            self.lsq_entries as u64,
+            self.int_alus as u64,
+            self.int_muldivs as u64,
+            self.fp_alus as u64,
+            self.fp_muldivs as u64,
+            self.mem_ports as u64,
+            self.result_buses as u64,
+            self.depth.fetch as u64,
+            self.depth.decode as u64,
+            self.depth.rename as u64,
+            self.depth.issue as u64,
+            self.depth.regread as u64,
+            self.depth.execute as u64,
+            self.depth.mem as u64,
+            self.depth.writeback as u64,
+            match self.bpred.kind {
+                PredictorKind::TwoLevel => 0,
+                PredictorKind::Bimodal => 1,
+            },
+            self.bpred.pht_entries as u64,
+            u64::from(self.bpred.history_bits),
+            self.bpred.btb_entries as u64,
+            self.bpred.btb_ways as u64,
+            self.bpred.ras_entries as u64,
+            u64::from(self.mem_latency),
+            match self.store_timing {
+                StoreTiming::KnownOneCycleAhead => 0,
+                StoreTiming::DelayOneCycle => 1,
+            },
+            u64::from(self.dcache_next_line_prefetch),
+        ] {
+            mix(v);
+        }
+        for c in [&self.icache, &self.dcache, &self.l2] {
+            mix(c.size_bytes);
+            mix(c.ways as u64);
+            mix(c.line_bytes);
+            mix(u64::from(c.latency));
+        }
+        for lat in self.op_latency {
+            mix(u64::from(lat));
+        }
+        for up in self.unpipelined {
+            mix(u64::from(up));
+        }
+        state
+    }
+
     /// Validate structural constraints.
     ///
     /// # Errors
@@ -466,6 +538,28 @@ mod tests {
         let mut c = SimConfig::baseline_8wide();
         c.rob_entries = 4;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let base = SimConfig::baseline_8wide();
+        assert_eq!(base.digest(), SimConfig::baseline_8wide().digest());
+        assert_ne!(base.digest(), SimConfig::deep_pipeline_20().digest());
+        let fewer_alus = SimConfig {
+            int_alus: 4,
+            ..SimConfig::baseline_8wide()
+        };
+        assert_ne!(base.digest(), fewer_alus.digest());
+        let slow_mem = SimConfig {
+            mem_latency: 101,
+            ..SimConfig::baseline_8wide()
+        };
+        assert_ne!(base.digest(), slow_mem.digest());
+        let delayed_stores = SimConfig {
+            store_timing: StoreTiming::DelayOneCycle,
+            ..SimConfig::baseline_8wide()
+        };
+        assert_ne!(base.digest(), delayed_stores.digest());
     }
 
     #[test]

@@ -643,6 +643,7 @@ impl<S: InstStream> Processor<S> {
                 self.activity.bpred_lookups += 1;
                 let (_pred, miss) = self.bpred.predict_and_update(inst.pc, info);
                 mispredicted = miss;
+                self.activity.bpred_mispredicts += u32::from(miss);
                 // Cannot fetch past a taken branch in the same cycle.
                 stop = info.taken || miss;
             }
@@ -717,7 +718,11 @@ impl<S: InstStream> Processor<S> {
         self.dcache_ring[idx] = DcacheSched::default();
 
         self.stats.record(&self.activity);
-        self.stats.mispredicts = self.bpred.mispredicts();
+        debug_assert_eq!(
+            self.stats.mispredicts,
+            self.bpred.mispredicts(),
+            "per-cycle mispredict counts must sum to the predictor's total"
+        );
     }
 }
 

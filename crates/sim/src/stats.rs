@@ -55,7 +55,8 @@ pub struct SimStats {
     pub icache_misses: u64,
     /// Branch-predictor lookups.
     pub bpred_lookups: u64,
-    /// Branch mispredictions (set by the pipeline at the end of a run).
+    /// Branch mispredictions (accumulated from per-cycle activity, so the
+    /// statistics stay a pure function of the activity stream).
     pub mispredicts: u64,
     /// Result-bus bus-cycles in use.
     pub result_bus_cycles: u64,
@@ -87,6 +88,7 @@ impl SimStats {
         self.icache_accesses += u64::from(act.icache_access);
         self.icache_misses += u64::from(act.icache_miss);
         self.bpred_lookups += u64::from(act.bpred_lookups);
+        self.mispredicts += u64::from(act.bpred_mispredicts);
         self.result_bus_cycles += u64::from(act.result_bus_used);
         self.regfile_reads += u64::from(act.regfile_reads);
         self.regfile_writes += u64::from(act.regfile_writes);

@@ -19,6 +19,9 @@ pub enum TraceError {
     Corrupt(DecodeWordError),
     /// The benchmark-name field is not valid UTF-8 or is oversized.
     BadName,
+    /// An activity record failed structural validation (out-of-range
+    /// field, unknown flag bit, oversized count).
+    BadActivity(&'static str),
 }
 
 impl fmt::Display for TraceError {
@@ -29,6 +32,7 @@ impl fmt::Display for TraceError {
             TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceError::Corrupt(e) => write!(f, "corrupt trace record: {e}"),
             TraceError::BadName => f.write_str("invalid benchmark name in header"),
+            TraceError::BadActivity(why) => write!(f, "corrupt activity record: {why}"),
         }
     }
 }
@@ -76,5 +80,9 @@ mod tests {
         assert!(corrupt.source().is_some());
 
         assert!(!TraceError::BadName.to_string().is_empty());
+
+        let act = TraceError::BadActivity("grant class out of range");
+        assert!(act.to_string().contains("grant class"));
+        assert!(act.source().is_none());
     }
 }

@@ -38,12 +38,17 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod activity;
 mod error;
 mod format;
 mod reader;
 mod varint;
 mod writer;
 
+pub use activity::{
+    ActivityHeader, ActivityTraceReader, ActivityTraceWriter, ACTIVITY_MAGIC, ACTIVITY_SCHEMA,
+    ACTIVITY_TRAILER_LEN, ACTIVITY_TRAILER_MAGIC, ACTIVITY_VERSION, MAX_GRANTS, MAX_GROUPS,
+};
 pub use error::TraceError;
 pub use format::{Header, MAGIC, VERSION};
 pub use reader::TraceReader;

@@ -1,12 +1,19 @@
 //! Record a workload to a trace file, replay it through the simulator, and
 //! verify the replay is cycle-identical to the live generator — the
 //! workflow production trace-driven simulators use to archive inputs.
+//! Then do the same one level up: record per-cycle *activity* through the
+//! [`TraceCache`] and show that replaying it reproduces the gating results
+//! bit-identically without re-running the timing simulation.
 //!
 //! ```text
 //! cargo run --release --example trace_replay [benchmark]
 //! ```
 
-use dcg_repro::sim::{Processor, SimConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dcg_repro::core::{run_passive, Dcg, NoGating, PassiveRun, RunLength, TraceCache};
+use dcg_repro::sim::{LatchGroups, Processor, SimConfig};
 use dcg_repro::trace::{TraceReader, TraceWriter};
 use dcg_repro::workloads::{InstStream, Spec2000, SyntheticWorkload};
 
@@ -35,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     live.run_until_commits(u64::from(n) / 2, |_| {});
 
     let replay_stream = TraceReader::new(&buf[..])?.into_replay()?;
-    let mut replay = Processor::new(cfg, replay_stream);
+    let mut replay = Processor::new(cfg.clone(), replay_stream);
     replay.run_until_commits(u64::from(n) / 2, |_| {});
 
     println!(
@@ -54,5 +61,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "replay must be cycle-identical"
     );
     println!("replay is cycle-identical to the live generator.");
+
+    // Part two: record per-cycle activity once, replay it through the
+    // passive gating policies. The cold run simulates and records; the
+    // warm run only decodes — same numbers, a fraction of the time.
+    let cache_dir = PathBuf::from("target/tmp/trace-replay-example");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = TraceCache::new(cache_dir);
+    let seed = 42;
+    let length = RunLength::quick();
+
+    let run = |cache: Option<&TraceCache>| -> (PassiveRun, f64) {
+        let groups = LatchGroups::new(&cfg.depth);
+        let mut baseline = NoGating::new(&cfg, &groups);
+        let mut dcg = Dcg::new(&cfg, &groups);
+        let policies: &mut [&mut dyn dcg_repro::core::GatingPolicy] =
+            &mut [&mut baseline, &mut dcg];
+        let t0 = Instant::now();
+        let run = match cache {
+            Some(c) => c.run_passive_cached(&cfg, profile, seed, length, policies),
+            None => run_passive(
+                &cfg,
+                SyntheticWorkload::new(profile, seed),
+                length,
+                policies,
+            ),
+        };
+        (run, t0.elapsed().as_secs_f64())
+    };
+
+    let (live_run, t_live) = run(None);
+    let (cold_run, t_cold) = run(Some(&cache)); // simulates + records
+    let (warm_run, t_warm) = run(Some(&cache)); // replays the recording
+
+    let saving = |r: &PassiveRun| r.outcomes[1].report.power_saving_vs(&r.outcomes[0].report);
+    println!(
+        "\nactivity cache ({bench}, {} insts measured):",
+        length.measure_insts
+    );
+    println!(
+        "  live : {:6.1} ms, dcg saves {:.4}%",
+        t_live * 1e3,
+        100.0 * saving(&live_run)
+    );
+    println!(
+        "  cold : {:6.1} ms, dcg saves {:.4}%",
+        t_cold * 1e3,
+        100.0 * saving(&cold_run)
+    );
+    println!(
+        "  warm : {:6.1} ms, dcg saves {:.4}%",
+        t_warm * 1e3,
+        100.0 * saving(&warm_run)
+    );
+    assert_eq!(
+        saving(&live_run).to_bits(),
+        saving(&warm_run).to_bits(),
+        "replayed activity must reproduce the power numbers bit-identically"
+    );
+    println!("replayed gating results are bit-identical to the live simulation.");
     Ok(())
 }

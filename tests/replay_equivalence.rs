@@ -1,0 +1,134 @@
+//! Replay-vs-live equivalence: driving the passive sinks from a recorded
+//! activity trace must reproduce the live simulation's power reports,
+//! gating audits and statistics **bit-identically** — the contract that
+//! makes the simulate-once trace cache safe to use anywhere.
+
+use std::path::PathBuf;
+
+use dcg_repro::core::{
+    run_oracle, run_oracle_source, run_passive, Dcg, NoGating, PassiveRun, RunLength, TraceCache,
+};
+use dcg_repro::power::{Component, PowerReport};
+use dcg_repro::sim::{LatchGroups, SimConfig};
+use dcg_repro::workloads::{Spec2000, SyntheticWorkload};
+
+const SEED: u64 = 11;
+
+fn fresh_cache(tag: &str) -> TraceCache {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("replay-equivalence")
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    TraceCache::new(dir)
+}
+
+/// Every float a [`PowerReport`] accumulates, by bit pattern.
+fn report_bits(r: &PowerReport) -> Vec<u64> {
+    let mut v = vec![r.cycles(), r.committed()];
+    v.extend(Component::ALL.iter().map(|c| r.component_pj(*c).to_bits()));
+    v
+}
+
+fn run_bits(run: &PassiveRun) -> (Vec<(String, Vec<u64>, String)>, String) {
+    (
+        run.outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.name.clone(),
+                    report_bits(&o.report),
+                    // GatingAudit and SimStats are integer-only, so Debug
+                    // is an exact encoding.
+                    format!("{:?}", o.audit),
+                )
+            })
+            .collect(),
+        format!("{:?}", run.stats),
+    )
+}
+
+fn passive(cfg: &SimConfig, name: &str) -> PassiveRun {
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut baseline = NoGating::new(cfg, &groups);
+    let mut dcg = Dcg::new(cfg, &groups);
+    let profile = Spec2000::by_name(name).unwrap();
+    run_passive(
+        cfg,
+        SyntheticWorkload::new(profile, SEED),
+        RunLength::quick(),
+        &mut [&mut baseline, &mut dcg],
+    )
+}
+
+fn passive_cached(cache: &TraceCache, cfg: &SimConfig, name: &str) -> PassiveRun {
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut baseline = NoGating::new(cfg, &groups);
+    let mut dcg = Dcg::new(cfg, &groups);
+    let profile = Spec2000::by_name(name).unwrap();
+    cache.run_passive_cached(
+        cfg,
+        profile,
+        SEED,
+        RunLength::quick(),
+        &mut [&mut baseline, &mut dcg],
+    )
+}
+
+/// Live, record (cold cache) and replay (warm cache) must agree to the
+/// last bit — across an integer and an FP benchmark, and across both
+/// pipeline depths.
+#[test]
+fn replay_is_bit_identical_to_live_across_profiles_and_depths() {
+    let configs = [SimConfig::baseline_8wide(), SimConfig::deep_pipeline_20()];
+    for cfg in &configs {
+        for name in ["gzip", "swim"] {
+            let tag = format!("{}-{name}", cfg.depth.total());
+            let cache = fresh_cache(&tag);
+
+            let live = passive(cfg, name);
+            let cold = passive_cached(&cache, cfg, name);
+            assert!(
+                cache
+                    .replay_source(cfg, name, SEED, RunLength::quick())
+                    .is_some(),
+                "{tag}: cold run must leave a valid cache entry"
+            );
+            let warm = passive_cached(&cache, cfg, name);
+
+            assert_eq!(
+                run_bits(&live),
+                run_bits(&cold),
+                "{tag}: recording must not change results"
+            );
+            assert_eq!(
+                run_bits(&live),
+                run_bits(&warm),
+                "{tag}: replay must be bit-identical to live"
+            );
+        }
+    }
+}
+
+/// The oracle runner accepts a replayed source too: clairvoyant gating is
+/// a pure function of the activity stream.
+#[test]
+fn oracle_replays_bit_identically() {
+    let cfg = SimConfig::baseline_8wide();
+    let cache = fresh_cache("oracle");
+    let profile = Spec2000::by_name("gzip").unwrap();
+
+    let live = run_oracle(
+        &cfg,
+        SyntheticWorkload::new(profile, SEED),
+        RunLength::quick(),
+    );
+
+    // Populate the cache, then replay through the oracle runner.
+    let _ = passive_cached(&cache, &cfg, "gzip");
+    let mut replay = cache
+        .replay_source(&cfg, "gzip", SEED, RunLength::quick())
+        .expect("cache entry");
+    let replayed = run_oracle_source(&cfg, &mut replay, RunLength::quick());
+
+    assert_eq!(report_bits(&live.report), report_bits(&replayed.report));
+}
