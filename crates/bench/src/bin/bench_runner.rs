@@ -7,12 +7,22 @@
 //! cargo run --release -p dcg-bench --bin bench_runner -- alu_sweep_cache
 //! ```
 //!
+//! `bench_runner --metrics-json` runs the suite once and writes the
+//! cycle-level observability document (per-component utilization
+//! histograms, windowed time series, gating audit trail) plus one
+//! utilization-over-time SVG per benchmark.
+//!
 //! `DCG_BENCH_QUICK=1` shrinks the figure suites; `DCG_BENCH_SAMPLES` /
 //! `DCG_BENCH_WARMUP` tune the micro-bench harness.
 
 use std::process::ExitCode;
 
-const KNOWN: &[&str] = &["sim_throughput", "fig10_total_power", "alu_sweep_cache"];
+const KNOWN: &[&str] = &[
+    "sim_throughput",
+    "fig10_total_power",
+    "alu_sweep_cache",
+    "--metrics-json",
+];
 
 fn main() -> ExitCode {
     let names: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +42,10 @@ fn main() -> ExitCode {
             "fig10_total_power" => dcg_bench::run_fig10_total_power(),
             "alu_sweep_cache" => {
                 let path = dcg_bench::run_alu_sweep_cache().expect("write bench JSON");
+                eprintln!("wrote {}", path.display());
+            }
+            "--metrics-json" => {
+                let path = dcg_bench::run_suite_metrics().expect("write metrics JSON");
                 eprintln!("wrote {}", path.display());
             }
             other => {

@@ -275,6 +275,54 @@ pub fn run_sim_throughput() -> std::io::Result<PathBuf> {
     h.write_json(&results_dir())
 }
 
+/// The `--metrics-json` harness: run the shared suite (baseline + DCG)
+/// and write the cycle-level observability document —
+/// `crates/bench/results/suite_metrics.json` with per-benchmark component
+/// counters, occupancy histograms, windowed time series and the
+/// gating-decision audit trail, plus one utilization-over-time SVG per
+/// benchmark under the workspace `results/figures/`. Returns the JSON
+/// path.
+///
+/// # Panics
+///
+/// Panics if no benchmark produced audit records: DCG's conservative
+/// gating always powers some idle blocks, so an empty trail means the
+/// metrics layer is broken.
+pub fn run_suite_metrics() -> std::io::Result<PathBuf> {
+    let suite = bench_suite(false);
+    let with_audit = suite
+        .runs
+        .iter()
+        .filter(|r| r.metrics.total_disagreements() > 0)
+        .count();
+    eprintln!(
+        "{}/{} benchmarks produced gating-audit records",
+        with_audit,
+        suite.runs.len()
+    );
+    assert!(
+        with_audit > 0,
+        "no benchmark produced a gating audit trail; the metrics layer \
+         cannot be wired correctly"
+    );
+
+    let fig_dir = workspace_root().join("results").join("figures");
+    for run in &suite.runs {
+        let path = fig_dir.join(format!("utilization-{}.svg", run.profile.name));
+        match dcg_experiments::write_utilization_svg(run.profile.name, &run.metrics, &path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+
+    let doc = dcg_experiments::suite_metrics_json(&suite);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("suite_metrics.json");
+    std::fs::write(&path, format!("{doc}\n"))?;
+    Ok(path)
+}
+
 /// The `fig10_total_power` harness: run the shared suite and emit the
 /// paper's Figure 10 with the timing trajectory embedded in the JSON.
 pub fn run_fig10_total_power() {

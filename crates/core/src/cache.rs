@@ -18,10 +18,12 @@
 //! back to a live simulation. A cache hit can never change results, only
 //! skip work.
 
+use std::env::VarError;
 use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
 
 use dcg_sim::{LatchGroups, Processor, SimConfig};
 use dcg_trace::{
@@ -30,7 +32,7 @@ use dcg_trace::{
 use dcg_workloads::{BenchmarkProfile, SyntheticWorkload};
 
 use crate::policy::GatingPolicy;
-use crate::runner::{run_passive_with_extra, PassiveRun, RunLength};
+use crate::runner::{run_passive_with_sinks, PassiveRun, RunLength};
 use crate::sinks::{ActivitySink, RecorderSink};
 use crate::source::ReplaySource;
 
@@ -46,6 +48,65 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// process (the pid distinguishes processes).
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide count of failed cache stores (see [`CacheHealth`]).
+static STORE_FAILURES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of failed invalid-entry deletions.
+static EVICT_FAILURES: AtomicU64 = AtomicU64::new(0);
+/// Gate for the once-per-process store-failure warning.
+static STORE_WARNING: Once = Once::new();
+/// Gate for the once-per-process evict-failure warning.
+static EVICT_WARNING: Once = Once::new();
+
+/// Snapshot of trace-cache I/O health for this process.
+///
+/// Caching is an optimization, never a correctness dependency, so I/O
+/// failures do not abort runs — but they must not be *silent* either: a
+/// read-only or full `results/traces/` directory would otherwise quietly
+/// re-simulate everything. The first failure of each kind warns on
+/// stderr; all failures are counted here and surfaced in the metrics
+/// JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheHealth {
+    /// Cache stores that failed (directory creation, write, or rename).
+    pub store_failures: u64,
+    /// Invalid cache entries that could not be deleted.
+    pub evict_failures: u64,
+}
+
+impl CacheHealth {
+    /// The current process-wide counters.
+    pub fn snapshot() -> CacheHealth {
+        CacheHealth {
+            store_failures: STORE_FAILURES.load(Ordering::Relaxed),
+            evict_failures: EVICT_FAILURES.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn note_store_failure(path: &Path, what: &str) {
+    STORE_FAILURES.fetch_add(1, Ordering::Relaxed);
+    STORE_WARNING.call_once(|| {
+        eprintln!(
+            "warning: trace cache store failed ({what}: {}); caching is \
+             disabled in effect and every run will re-simulate \
+             (further store failures are counted, not repeated here)",
+            path.display()
+        );
+    });
+}
+
+fn note_evict_failure(path: &Path, err: &std::io::Error) {
+    EVICT_FAILURES.fetch_add(1, Ordering::Relaxed);
+    EVICT_WARNING.call_once(|| {
+        eprintln!(
+            "warning: could not delete invalid trace-cache entry {}: {err}; \
+             the entry will be re-validated (and re-rejected) on every run \
+             (further evict failures are counted, not repeated here)",
+            path.display()
+        );
+    });
+}
+
 /// A directory of recorded activity traces, addressed by content key.
 #[derive(Debug, Clone)]
 pub struct TraceCache {
@@ -60,18 +121,34 @@ impl TraceCache {
 
     /// The cache honoring [`TRACE_CACHE_ENV`]; defaults to
     /// `results/traces/` at the workspace root. Returns `None` when
-    /// caching is disabled.
+    /// caching is disabled — explicitly (`0`/`off`/`none`/empty) or
+    /// because the variable is malformed, which is diagnosed on stderr
+    /// rather than silently running uncached.
     pub fn from_env() -> Option<TraceCache> {
-        match std::env::var(TRACE_CACHE_ENV) {
+        Self::from_env_value(std::env::var(TRACE_CACHE_ENV))
+    }
+
+    /// [`TraceCache::from_env`] with the variable lookup factored out so
+    /// tests can exercise every branch without mutating process state.
+    fn from_env_value(value: Result<String, VarError>) -> Option<TraceCache> {
+        match value {
             Ok(v) if matches!(v.as_str(), "0" | "off" | "none" | "") => None,
             Ok(v) => Some(TraceCache::new(PathBuf::from(v))),
-            Err(_) => {
+            Err(VarError::NotPresent) => {
                 // crates/core/ -> workspace root.
                 let root = Path::new(env!("CARGO_MANIFEST_DIR"))
                     .ancestors()
                     .nth(2)
                     .expect("workspace root");
                 Some(TraceCache::new(root.join("results").join("traces")))
+            }
+            Err(VarError::NotUnicode(raw)) => {
+                eprintln!(
+                    "warning: {TRACE_CACHE_ENV} is set but not valid \
+                     unicode ({raw:?}); trace caching is disabled for this \
+                     run — unset it or set a valid path"
+                );
+                None
             }
         }
     }
@@ -126,7 +203,9 @@ impl TraceCache {
         match Self::validate_entry(config, name, seed, length, bytes) {
             Ok(reader) => Some(ReplaySource::new(reader)),
             Err(()) => {
-                let _ = fs::remove_file(&path);
+                if let Err(e) = fs::remove_file(&path) {
+                    note_evict_failure(&path, &e);
+                }
                 None
             }
         }
@@ -173,8 +252,24 @@ impl TraceCache {
         length: RunLength,
         policies: &mut [&mut dyn GatingPolicy],
     ) -> PassiveRun {
+        self.run_passive_cached_with(config, profile, seed, length, policies, &mut [])
+    }
+
+    /// [`TraceCache::run_passive_cached`] with additional sinks riding on
+    /// the same pass — hit or miss, the extra sinks observe the identical
+    /// activity stream, so a [`crate::MetricsSink`] attached here yields
+    /// bit-identical metrics either way.
+    pub fn run_passive_cached_with(
+        &self,
+        config: &SimConfig,
+        profile: BenchmarkProfile,
+        seed: u64,
+        length: RunLength,
+        policies: &mut [&mut dyn GatingPolicy],
+        extra: &mut [&mut dyn ActivitySink],
+    ) -> PassiveRun {
         if let Some(mut replay) = self.replay_source(config, profile.name, seed, length) {
-            return crate::runner::run_passive_source(config, &mut replay, length, policies);
+            return run_passive_with_sinks(config, &mut replay, length, policies, extra);
         }
 
         let mut cpu = Processor::new(config.clone(), SyntheticWorkload::new(profile, seed));
@@ -191,8 +286,12 @@ impl TraceCache {
         let writer = ActivityTraceWriter::new(Vec::new(), &header).expect("in-memory header write");
         let mut recorder = RecorderSink::new(writer);
         let run = {
-            let mut extra: [&mut dyn ActivitySink; 1] = [&mut recorder];
-            run_passive_with_extra(config, &mut cpu, length, policies, &mut extra)
+            let mut sinks: Vec<&mut dyn ActivitySink> = Vec::with_capacity(extra.len() + 1);
+            for e in extra.iter_mut() {
+                sinks.push(&mut **e);
+            }
+            sinks.push(&mut recorder);
+            run_passive_with_sinks(config, &mut cpu, length, policies, &mut sinks)
         };
         if let Ok(bytes) = recorder.finish() {
             self.store(
@@ -205,10 +304,12 @@ impl TraceCache {
     }
 
     /// Best-effort atomic store: write to a unique temp file, then rename
-    /// into place. Failures are swallowed — caching is an optimization,
-    /// never a correctness dependency.
+    /// into place. Failures never abort the run — caching is an
+    /// optimization, not a correctness dependency — but they warn once
+    /// per process and are counted in [`CacheHealth`].
     fn store(&self, name: &str, key: u64, bytes: &[u8]) {
         if fs::create_dir_all(&self.dir).is_err() {
+            note_store_failure(&self.dir, "cannot create cache directory");
             return;
         }
         let tmp = self.dir.join(format!(
@@ -221,9 +322,11 @@ impl TraceCache {
             f.write_all(bytes)?;
             f.into_inner()?.sync_all()
         };
-        if write().is_ok() {
-            let _ = fs::rename(&tmp, self.entry_path(name, key));
-        } else {
+        if write().is_err() {
+            note_store_failure(&tmp, "cannot write temp file");
+            let _ = fs::remove_file(&tmp);
+        } else if fs::rename(&tmp, self.entry_path(name, key)).is_err() {
+            note_store_failure(&tmp, "cannot rename temp file into place");
             let _ = fs::remove_file(&tmp);
         }
     }
@@ -310,6 +413,61 @@ mod tests {
         assert_ne!(k, TraceCache::key(&cfg, "mcf", 1, short()));
         assert_ne!(k, TraceCache::key(&cfg, "gzip", 2, short()));
         assert_ne!(k, TraceCache::key(&cfg, "gzip", 1, RunLength::quick()));
+    }
+
+    #[test]
+    fn unwritable_cache_dir_counts_store_failures_and_still_runs() {
+        // Root a cache *under a regular file* so `create_dir_all` fails
+        // even when the tests run as root (permission bits would not).
+        let scratch_dir = scratch("unwritable").dir().to_path_buf();
+        fs::create_dir_all(&scratch_dir).unwrap();
+        let blocker = scratch_dir.join("blocker");
+        fs::write(&blocker, b"not a directory").unwrap();
+        let cache = TraceCache::new(blocker.join("cache"));
+
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let profile = Spec2000::by_name("gzip").unwrap();
+        let before = CacheHealth::snapshot().store_failures;
+
+        let mut base = NoGating::new(&cfg, &groups);
+        let run = cache.run_passive_cached(&cfg, profile, 3, short(), &mut [&mut base]);
+        assert!(run.stats.cycles > 0, "the run itself must still succeed");
+        assert!(
+            CacheHealth::snapshot().store_failures > before,
+            "a failed store must be counted, not swallowed"
+        );
+        assert!(
+            cache
+                .replay_source(&cfg, profile.name, 3, short())
+                .is_none(),
+            "nothing can have been cached"
+        );
+    }
+
+    #[test]
+    fn from_env_value_covers_disable_path_and_malformed() {
+        assert!(
+            TraceCache::from_env_value(Err(VarError::NotPresent)).is_some(),
+            "unset variable selects the default location"
+        );
+        for tok in ["0", "off", "none", ""] {
+            assert!(
+                TraceCache::from_env_value(Ok(tok.to_string())).is_none(),
+                "{tok:?} disables caching"
+            );
+        }
+        let custom = TraceCache::from_env_value(Ok("/tmp/custom-traces".to_string())).unwrap();
+        assert_eq!(custom.dir(), Path::new("/tmp/custom-traces"));
+        #[cfg(unix)]
+        {
+            use std::os::unix::ffi::OsStringExt;
+            let raw = std::ffi::OsString::from_vec(vec![0x2f, 0x74, 0x6d, 0x70, 0x80]);
+            assert!(
+                TraceCache::from_env_value(Err(VarError::NotUnicode(raw))).is_none(),
+                "a malformed value disables caching (with a diagnostic)"
+            );
+        }
     }
 
     #[test]

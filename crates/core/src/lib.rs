@@ -47,22 +47,27 @@
 
 mod cache;
 mod dcg;
+pub mod metrics;
 mod plb;
 mod policy;
 mod runner;
 mod sinks;
 mod source;
 
-pub use cache::{TraceCache, TRACE_CACHE_ENV};
+pub use cache::{CacheHealth, TraceCache, TRACE_CACHE_ENV};
 pub use dcg::{Dcg, DcgOptions};
+pub use metrics::{
+    fu_class_label, ComponentMetrics, GateDisagreement, Histogram, MetricsConfig, MetricsReport,
+    WindowSample, DEFAULT_AUDIT_CAPACITY, DEFAULT_METRICS_WINDOW,
+};
 pub use plb::{Plb, PlbConfig, PlbMode, PlbVariant};
 pub use policy::{GatingPolicy, NoGating};
 pub use runner::{
     drive, run_active, run_active_source, run_oracle, run_oracle_source, run_passive,
-    run_passive_source, run_wattch_styles, run_wattch_styles_source, GatingAudit, PassiveRun,
-    PolicyOutcome, RunLength, WattchStyles,
+    run_passive_source, run_passive_with_sinks, run_wattch_styles, run_wattch_styles_source,
+    GatingAudit, PassiveRun, PolicyOutcome, RunLength, WattchStyles,
 };
-pub use sinks::ActivitySink;
+pub use sinks::{ActivitySink, MetricsSink};
 pub use source::{ActivitySource, ReplaySource};
 
 /// Bitmask with the low `n` bits set (shared by the policies).

@@ -209,12 +209,16 @@ pub fn run_passive_source(
     length: RunLength,
     policies: &mut [&mut dyn GatingPolicy],
 ) -> PassiveRun {
-    run_passive_with_extra(config, source, length, policies, &mut [])
+    run_passive_with_sinks(config, source, length, policies, &mut [])
 }
 
-/// Passive run with additional sinks riding on the same pass (the trace
-/// cache attaches its recorder here).
-pub(crate) fn run_passive_with_extra(
+/// Passive run with additional [`ActivitySink`]s riding on the same pass.
+///
+/// The trace cache attaches its recorder here, and callers attach a
+/// [`crate::MetricsSink`] to collect cycle-level observability without an
+/// extra simulation. Extra sinks see exactly the cycles the policy sinks
+/// see (warm-up and measured), after the policy sinks in fan-out order.
+pub fn run_passive_with_sinks(
     config: &SimConfig,
     source: &mut dyn ActivitySource,
     length: RunLength,

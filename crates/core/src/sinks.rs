@@ -14,6 +14,10 @@ use dcg_power::{GateState, PowerModel, PowerReport};
 use dcg_sim::{CycleActivity, LatchGroups, ResourceConstraints, SimConfig, SimStats};
 use dcg_trace::{ActivityTraceWriter, TraceError};
 
+use crate::metrics::{
+    fu_class_label, ComponentMetrics, GateDisagreement, Histogram, MetricsConfig, MetricsReport,
+    WindowSample,
+};
 use crate::policy::GatingPolicy;
 use crate::runner::{GatingAudit, PolicyOutcome, WattchStyles};
 
@@ -248,6 +252,284 @@ impl ActivitySink for WattchSink<'_> {
             .record(&self.model.cycle_energy(act, &g1), act.committed);
         self.cc2
             .record(&self.model.cycle_energy(act, &g2), act.committed);
+    }
+}
+
+/// FU classes whose power is accounted per instance (memory ports are
+/// accounted as D-cache ports instead, mirroring [`GatingAudit::check`]).
+const UNIT_CLASSES: [FuClass; 4] = [
+    FuClass::IntAlu,
+    FuClass::IntMulDiv,
+    FuClass::FpAlu,
+    FuClass::FpMulDiv,
+];
+
+/// Index of the `dcache-ports` entry in [`MetricsReport::components`].
+const COMP_PORTS: usize = UNIT_CLASSES.len();
+/// Index of the `result-buses` entry.
+const COMP_BUSES: usize = COMP_PORTS + 1;
+/// Index of the `pipeline-latches` entry.
+const COMP_LATCHES: usize = COMP_BUSES + 1;
+
+/// Cycle-level observability sink: per-component counters, occupancy
+/// histograms, a windowed utilization time series, and the
+/// gating-decision audit trail (see [`crate::metrics`]).
+///
+/// The sink evaluates its own (passive) policy instance per cycle —
+/// passive policies are deterministic pure functions of the activity
+/// stream, so a second instance reproduces exactly the gate decisions of
+/// the [`PolicySink`] riding the same pass, live or replayed.
+pub struct MetricsSink<'a> {
+    policy: &'a mut dyn GatingPolicy,
+    groups: &'a LatchGroups,
+    /// Scratch gate state reused across cycles.
+    gate: GateState,
+    metrics_config: MetricsConfig,
+    /// Slots per latch group (an ungated or `None` entry powers this many).
+    issue_width: u32,
+    report: MetricsReport,
+    /// The currently accumulating (not yet flushed) window.
+    win: WindowSample,
+}
+
+impl<'a> MetricsSink<'a> {
+    /// A sink observing `policy` with the default [`MetricsConfig`].
+    pub fn new(
+        policy: &'a mut dyn GatingPolicy,
+        config: &SimConfig,
+        groups: &'a LatchGroups,
+    ) -> MetricsSink<'a> {
+        MetricsSink::with_config(policy, config, groups, MetricsConfig::default())
+    }
+
+    /// A sink observing `policy` with explicit metrics tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` is active or `metrics_config.window` is zero.
+    pub fn with_config(
+        policy: &'a mut dyn GatingPolicy,
+        config: &SimConfig,
+        groups: &'a LatchGroups,
+        metrics_config: MetricsConfig,
+    ) -> MetricsSink<'a> {
+        assert!(
+            policy.is_passive(),
+            "MetricsSink re-evaluates its policy from the activity stream, \
+             which only works for passive policies; {} is active",
+            policy.name()
+        );
+        assert!(metrics_config.window > 0, "metrics window must be non-zero");
+        let issue_width = config.issue_width as u32;
+        let mut components: Vec<ComponentMetrics> = UNIT_CLASSES
+            .iter()
+            .map(|c| ComponentMetrics::new(fu_class_label(*c), config.fu_count(*c) as u32))
+            .collect();
+        components.push(ComponentMetrics::new(
+            "dcache-ports",
+            config.mem_ports as u32,
+        ));
+        components.push(ComponentMetrics::new(
+            "result-buses",
+            config.result_buses as u32,
+        ));
+        components.push(ComponentMetrics::new(
+            "pipeline-latches",
+            groups.gated_count() as u32 * issue_width,
+        ));
+        let report = MetricsReport {
+            policy: policy.name().to_string(),
+            window: metrics_config.window,
+            cycles: 0,
+            committed: 0,
+            components,
+            fu_occupancy: FuClass::ALL
+                .iter()
+                .map(|c| Histogram::new(config.fu_count(*c) as u32))
+                .collect(),
+            iq_fill: Histogram::new(config.iq_entries as u32),
+            rob_fill: Histogram::new(config.rob_entries as u32),
+            lsq_fill: Histogram::new(config.lsq_entries as u32),
+            windows: Vec::new(),
+            audit: Vec::new(),
+            audit_dropped: 0,
+        };
+        let gate = GateState::ungated(config, groups);
+        MetricsSink {
+            policy,
+            groups,
+            gate,
+            metrics_config,
+            issue_width,
+            report,
+            win: WindowSample::empty(0),
+        }
+    }
+
+    fn disagree(&mut self, cycle: u64, component: &str, claimed: u32, actual: u32) {
+        if self.report.audit.len() < self.metrics_config.audit_capacity {
+            self.report.audit.push(GateDisagreement {
+                cycle,
+                component: component.to_string(),
+                claimed_powered: claimed,
+                actual_used: actual,
+            });
+        } else {
+            self.report.audit_dropped += 1;
+        }
+    }
+
+    /// Finish the report (flushes the partial final window).
+    pub fn into_report(mut self) -> MetricsReport {
+        if self.win.cycles > 0 {
+            self.report.windows.push(self.win);
+        }
+        self.report
+    }
+}
+
+impl std::fmt::Debug for MetricsSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSink")
+            .field("policy", &self.report.policy)
+            .field("cycles", &self.report.cycles)
+            .field("windows", &self.report.windows.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ActivitySink for MetricsSink<'_> {
+    fn warmup_cycle(&mut self, act: &CycleActivity) {
+        // Keep the policy's pipelined control state primed, but record
+        // nothing.
+        self.policy.gate_into(act.cycle, &mut self.gate);
+        self.policy.observe(act);
+    }
+
+    fn measure_cycle(&mut self, act: &CycleActivity) {
+        self.policy.gate_into(act.cycle, &mut self.gate);
+
+        self.report.cycles += 1;
+        self.report.committed += u64::from(act.committed);
+        if self.win.cycles == 0 {
+            self.win.start_cycle = act.cycle;
+        }
+        self.win.cycles += 1;
+        self.win.committed += u64::from(act.committed);
+        self.win.issued += u64::from(act.issued);
+
+        for c in FuClass::ALL {
+            self.report.fu_occupancy[c.index()].record(act.fu_active[c.index()].count_ones());
+        }
+        self.report.iq_fill.record(act.iq_occupancy);
+        self.report.rob_fill.record(act.rob_occupancy);
+        self.report.lsq_fill.record(act.lsq_occupancy);
+
+        for (i, c) in UNIT_CLASSES.iter().enumerate() {
+            let used_mask = act.fu_active[c.index()];
+            let powered_mask = self.gate.fu_powered[c.index()];
+            let comp = &mut self.report.components[i];
+            let cap = u64::from(comp.instances);
+            let used = u64::from(used_mask.count_ones());
+            let powered = u64::from(powered_mask.count_ones());
+            comp.used_instance_cycles += used;
+            comp.powered_instance_cycles += powered;
+            comp.gated_instance_cycles += cap - powered;
+            comp.idle_instance_cycles += cap - used;
+            self.win.unit_used += used;
+            self.win.unit_gated += cap - powered;
+            if used_mask != powered_mask {
+                comp.disagreement_cycles += 1;
+                self.disagree(act.cycle, fu_class_label(*c), powered_mask, used_mask);
+            }
+        }
+
+        {
+            let used_mask = act.dcache_port_mask;
+            let powered_mask = self.gate.dcache_ports_powered;
+            let comp = &mut self.report.components[COMP_PORTS];
+            let cap = u64::from(comp.instances);
+            let used = u64::from(used_mask.count_ones());
+            let powered = u64::from(powered_mask.count_ones());
+            comp.used_instance_cycles += used;
+            comp.powered_instance_cycles += powered;
+            comp.gated_instance_cycles += cap - powered;
+            comp.idle_instance_cycles += cap - used;
+            self.win.port_used += used;
+            self.win.port_gated += cap - powered;
+            if used_mask != powered_mask {
+                comp.disagreement_cycles += 1;
+                self.disagree(act.cycle, "dcache-ports", powered_mask, used_mask);
+            }
+        }
+
+        {
+            let used = act.result_bus_used;
+            let powered = self.gate.result_buses_powered;
+            let comp = &mut self.report.components[COMP_BUSES];
+            let cap = u64::from(comp.instances);
+            comp.used_instance_cycles += u64::from(used);
+            comp.powered_instance_cycles += u64::from(powered);
+            comp.gated_instance_cycles += cap - u64::from(powered);
+            comp.idle_instance_cycles += cap - u64::from(used);
+            self.win.bus_used += u64::from(used);
+            self.win.bus_gated += cap - u64::from(powered);
+            if used != powered {
+                comp.disagreement_cycles += 1;
+                self.disagree(act.cycle, "result-buses", powered, used);
+            }
+        }
+
+        {
+            let mut used_total = 0u64;
+            let mut powered_total = 0u64;
+            let mut group_disagreed = false;
+            for ((spec, slots), occ) in self
+                .groups
+                .specs()
+                .iter()
+                .zip(&self.gate.latch_slots)
+                .zip(&act.latch_occupancy)
+            {
+                if !spec.gated {
+                    continue;
+                }
+                let powered = slots.unwrap_or(self.issue_width).min(self.issue_width);
+                used_total += u64::from(*occ);
+                powered_total += u64::from(powered);
+                if powered != *occ {
+                    group_disagreed = true;
+                    if self.report.audit.len() < self.metrics_config.audit_capacity {
+                        self.report.audit.push(GateDisagreement {
+                            cycle: act.cycle,
+                            component: spec.name.clone(),
+                            claimed_powered: powered,
+                            actual_used: *occ,
+                        });
+                    } else {
+                        self.report.audit_dropped += 1;
+                    }
+                }
+            }
+            let comp = &mut self.report.components[COMP_LATCHES];
+            let cap = u64::from(comp.instances);
+            comp.used_instance_cycles += used_total;
+            comp.powered_instance_cycles += powered_total;
+            comp.gated_instance_cycles += cap - powered_total;
+            comp.idle_instance_cycles += cap - used_total;
+            comp.disagreement_cycles += u64::from(group_disagreed);
+            self.win.latch_used += used_total;
+            self.win.latch_gated += cap - powered_total;
+        }
+
+        if self.win.cycles == self.metrics_config.window {
+            let next = WindowSample::empty(0);
+            self.report
+                .windows
+                .push(std::mem::replace(&mut self.win, next));
+        }
+
+        self.policy.observe(act);
     }
 }
 

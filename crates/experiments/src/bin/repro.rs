@@ -6,6 +6,7 @@
 //! experiments:
 //!   fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!   alu-sweep utilization workload-stats phase-analysis summary all
+//!   metrics  (cycle-level metrics JSON + utilization-over-time SVGs)
 //!   config   (print the Table-1 machine configuration)
 //! ```
 //!
@@ -18,11 +19,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dcg_experiments::{
-    alu_sweep, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, phase_analysis, summary,
-    utilization, workload_stats, write_svg, ExperimentConfig, FigureTable, Suite,
+    alu_sweep, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, phase_analysis,
+    suite_metrics_json, summary, utilization, workload_stats, write_svg, write_utilization_svg,
+    ExperimentConfig, FigureTable, Suite,
 };
 
-const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|workload-stats|phase-analysis|summary|config|all>...";
+const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|metrics|workload-stats|phase-analysis|summary|config|all>...";
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -88,6 +90,7 @@ fn main() -> ExitCode {
             "fig17",
             "alu-sweep",
             "utilization",
+            "metrics",
             "workload-stats",
             "phase-analysis",
             "summary",
@@ -107,7 +110,15 @@ fn main() -> ExitCode {
     let needs_suite = wanted.iter().any(|w| {
         matches!(
             w.as_str(),
-            "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "utilization"
+            "fig10"
+                | "fig11"
+                | "fig12"
+                | "fig13"
+                | "fig14"
+                | "fig15"
+                | "fig16"
+                | "utilization"
+                | "metrics"
         )
     });
     let needs_plb = wanted.iter().any(|w| {
@@ -140,6 +151,33 @@ fn main() -> ExitCode {
 
     let mut failures = 0;
     for w in &wanted {
+        if w == "metrics" {
+            // Not a figure table: write the cycle-level metrics document
+            // and one utilization-over-time SVG per benchmark.
+            let s = suites.first().expect("metrics requires a suite run");
+            let path = out_dir.join("suite-metrics.json");
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&path, format!("{}\n", suite_metrics_json(s))) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+            for run in &s.runs {
+                let path = out_dir.join(format!("utilization-{}.svg", run.profile.name));
+                match write_utilization_svg(run.profile.name, &run.metrics, &path) {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        failures += 1;
+                    }
+                }
+            }
+            continue;
+        }
         let table: FigureTable = match w.as_str() {
             "fig10" => averaged(&fig10),
             "fig11" => averaged(&fig11),

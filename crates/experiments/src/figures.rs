@@ -208,7 +208,9 @@ pub fn fig17(cfg: &ExperimentConfig) -> FigureTable {
     }
     let a8 = suite8.mean(|r| r.dcg_total_saving());
     let a20 = suite20.mean(|r| r.dcg_total_saving());
-    t.push_row("average", vec![pct(a8), pct(a20)]);
+    if let (Some(a8), Some(a20)) = (a8, a20) {
+        t.push_row("average", vec![pct(a8), pct(a20)]);
+    }
     t.note("paper: 19.9 % (8-stage) grows to 24.5 % (20-stage): more gateable latches");
     t
 }

@@ -23,6 +23,7 @@
 
 mod alu_sweep;
 mod figures;
+mod metrics_json;
 mod phases;
 mod suite;
 mod summary;
@@ -33,10 +34,11 @@ mod workload_stats;
 
 pub use alu_sweep::{alu_sweep, alu_sweep_with, ALU_COUNTS};
 pub use figures::{fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
+pub use metrics_json::{metrics_json, suite_metrics_json};
 pub use phases::{phase_analysis, PhaseSeries};
-pub use suite::{BenchmarkRun, ExperimentConfig, Suite};
+pub use suite::{BenchmarkRun, ExperimentConfig, Suite, SuiteFailure};
 pub use summary::summary;
-pub use svg::{render_svg, write_svg};
+pub use svg::{render_svg, render_utilization_svg, write_svg, write_utilization_svg};
 pub use table::FigureTable;
 pub use utilization::utilization;
 pub use workload_stats::workload_stats;

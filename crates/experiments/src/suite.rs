@@ -1,13 +1,15 @@
 //! Suite orchestration: run every benchmark under the baseline, DCG and
 //! (optionally) both PLB variants.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dcg_core::{
-    run_active, run_passive, Dcg, NoGating, Plb, PlbVariant, PolicyOutcome, RunLength, TraceCache,
+    run_active, run_passive_with_sinks, ActivitySink, Dcg, MetricsReport, MetricsSink, NoGating,
+    Plb, PlbVariant, PolicyOutcome, RunLength, TraceCache,
 };
 use dcg_power::{Component, PowerReport};
-use dcg_sim::{LatchGroups, SimConfig, SimStats};
+use dcg_sim::{LatchGroups, Processor, SimConfig, SimStats};
 use dcg_workloads::{BenchmarkProfile, Spec2000, SuiteKind, SyntheticWorkload};
 
 /// Experiment-wide parameters.
@@ -68,6 +70,9 @@ pub struct BenchmarkRun {
     pub plb_ext: Option<PolicyOutcome>,
     /// Simulator statistics of the baseline/DCG run's measured window.
     pub stats: SimStats,
+    /// Cycle-level observability for the DCG run: utilization histograms,
+    /// windowed time series and the gating-decision audit trail.
+    pub metrics: MetricsReport,
 }
 
 impl BenchmarkRun {
@@ -168,11 +173,26 @@ fn dcache_saving(own: &PowerReport, base: &PowerReport) -> f64 {
     }
 }
 
+/// A benchmark whose worker panicked mid-suite.
+///
+/// One bad benchmark no longer kills the whole run: the panic payload is
+/// captured, the remaining benchmarks finish, and the failure is reported
+/// here by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteFailure {
+    /// Name of the benchmark whose run panicked.
+    pub name: String,
+    /// The panic payload (message), when it was a string.
+    pub message: String,
+}
+
 /// The full set of per-benchmark runs for one experiment configuration.
 #[derive(Debug)]
 pub struct Suite {
-    /// One entry per benchmark, in configuration order.
+    /// One entry per *successful* benchmark, in configuration order.
     pub runs: Vec<BenchmarkRun>,
+    /// Benchmarks whose worker panicked, in configuration order.
+    pub failures: Vec<SuiteFailure>,
     /// Wall-clock time for the whole (parallel) suite run, nanoseconds.
     pub wall_ns: u64,
 }
@@ -190,7 +210,7 @@ impl Suite {
     /// re-running a suite on a warm cache replays recorded activity
     /// instead of re-simulating the pipeline.
     pub fn run(cfg: &ExperimentConfig, with_plb: bool) -> Suite {
-        let (runs, wall_ns) = dcg_testkit::bench::time(|| {
+        let ((runs, failures), wall_ns) = dcg_testkit::bench::time(|| {
             let n = cfg.benchmarks.len();
             let workers = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -198,40 +218,59 @@ impl Suite {
                 .min(n.max(1));
             let cache = TraceCache::from_env();
             let next = AtomicUsize::new(0);
-            let mut slots: Vec<Option<BenchmarkRun>> = (0..n).map(|_| None).collect();
+            let mut slots: Vec<Option<Result<BenchmarkRun, SuiteFailure>>> =
+                (0..n).map(|_| None).collect();
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        let cache = cache.as_ref();
-                        scope.spawn(move || {
-                            let mut done = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= n {
-                                    break;
+                let handles: Vec<_> =
+                    (0..workers)
+                        .map(|_| {
+                            let next = &next;
+                            let cache = cache.as_ref();
+                            scope.spawn(move || {
+                                let mut done = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= n {
+                                        break;
+                                    }
+                                    // One panicking benchmark must not kill the
+                                    // suite: capture the payload and keep
+                                    // draining the queue.
+                                    let profile = cfg.benchmarks[i];
+                                    let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                                        Self::run_one(cfg, profile, with_plb, cache)
+                                    }))
+                                    .map_err(|payload| SuiteFailure {
+                                        name: profile.name.to_string(),
+                                        message: panic_message(payload),
+                                    });
+                                    done.push((i, run));
                                 }
-                                done.push((
-                                    i,
-                                    Self::run_one(cfg, cfg.benchmarks[i], with_plb, cache),
-                                ));
-                            }
-                            done
+                                done
+                            })
                         })
-                    })
-                    .collect();
+                        .collect();
                 for h in handles {
                     for (i, run) in h.join().expect("benchmark worker panicked") {
                         slots[i] = Some(run);
                     }
                 }
             });
-            slots
-                .into_iter()
-                .map(|s| s.expect("every benchmark index was claimed by a worker"))
-                .collect()
+            let mut runs = Vec::with_capacity(n);
+            let mut failures = Vec::new();
+            for s in slots {
+                match s.expect("every benchmark index was claimed by a worker") {
+                    Ok(run) => runs.push(run),
+                    Err(failure) => failures.push(failure),
+                }
+            }
+            (runs, failures)
         });
-        Suite { runs, wall_ns }
+        Suite {
+            runs,
+            failures,
+            wall_ns,
+        }
     }
 
     /// Run one benchmark under all requested schemes.
@@ -245,16 +284,26 @@ impl Suite {
         let groups = LatchGroups::new(&cfg.sim.depth);
         let mut baseline = NoGating::new(&cfg.sim, &groups);
         let mut dcg = Dcg::new(&cfg.sim, &groups);
+        // The metrics sink re-evaluates DCG's (deterministic, passive)
+        // gate decisions from the shared activity stream, so it rides the
+        // same pass — cached replay or live — without extra simulations.
+        let mut dcg_probe = Dcg::new(&cfg.sim, &groups);
+        let mut metrics_sink = MetricsSink::new(&mut dcg_probe, &cfg.sim, &groups);
         let policies: &mut [&mut dyn dcg_core::GatingPolicy] = &mut [&mut baseline, &mut dcg];
-        let mut run = match cache {
-            Some(c) => c.run_passive_cached(&cfg.sim, profile, cfg.seed, cfg.length, policies),
-            None => run_passive(
-                &cfg.sim,
-                SyntheticWorkload::new(profile, cfg.seed),
-                cfg.length,
-                policies,
-            ),
+        let mut run = {
+            let extra: &mut [&mut dyn ActivitySink] = &mut [&mut metrics_sink];
+            match cache {
+                Some(c) => c.run_passive_cached_with(
+                    &cfg.sim, profile, cfg.seed, cfg.length, policies, extra,
+                ),
+                None => {
+                    let mut cpu =
+                        Processor::new(cfg.sim.clone(), SyntheticWorkload::new(profile, cfg.seed));
+                    run_passive_with_sinks(&cfg.sim, &mut cpu, cfg.length, policies, extra)
+                }
+            }
         };
+        let metrics = metrics_sink.into_report();
         let dcg_out = run.outcomes.remove(1);
         let base_out = run.outcomes.remove(0);
 
@@ -286,6 +335,7 @@ impl Suite {
             plb_orig,
             plb_ext,
             stats: run.stats,
+            metrics,
         }
     }
 
@@ -294,22 +344,35 @@ impl Suite {
         self.runs.iter().filter(move |r| r.profile.suite == kind)
     }
 
-    /// Arithmetic mean of `f` over runs of `kind`.
-    pub fn mean_of(&self, kind: SuiteKind, f: impl Fn(&BenchmarkRun) -> f64) -> f64 {
+    /// Arithmetic mean of `f` over runs of `kind`; `None` when no run
+    /// matches (an empty mean is a report-shape bug, not a zero).
+    pub fn mean_of(&self, kind: SuiteKind, f: impl Fn(&BenchmarkRun) -> f64) -> Option<f64> {
         let values: Vec<f64> = self.of_kind(kind).map(f).collect();
         if values.is_empty() {
-            0.0
+            None
         } else {
-            values.iter().sum::<f64>() / values.len() as f64
+            Some(values.iter().sum::<f64>() / values.len() as f64)
         }
     }
 
-    /// Arithmetic mean of `f` over all runs.
-    pub fn mean(&self, f: impl Fn(&BenchmarkRun) -> f64) -> f64 {
+    /// Arithmetic mean of `f` over all runs; `None` when the suite is
+    /// empty.
+    pub fn mean(&self, f: impl Fn(&BenchmarkRun) -> f64) -> Option<f64> {
         if self.runs.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.runs.iter().map(f).sum::<f64>() / self.runs.len() as f64
+        Some(self.runs.iter().map(f).sum::<f64>() / self.runs.len() as f64)
+    }
+}
+
+/// Extract a human-readable message from a captured panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -322,6 +385,20 @@ mod tests {
         let cfg = ExperimentConfig::quick();
         let suite = Suite::run(&cfg, false);
         assert_eq!(suite.runs.len(), 3);
+        assert!(suite.failures.is_empty());
+        for run in &suite.runs {
+            assert_eq!(
+                run.metrics.cycles, run.stats.cycles,
+                "{}: metrics must cover the measured window",
+                run.profile.name
+            );
+            assert!(
+                run.metrics.total_disagreements() > 0,
+                "{}: DCG powers some idle blocks, so the audit trail \
+                 cannot be empty",
+                run.profile.name
+            );
+        }
         for run in &suite.runs {
             assert_eq!(run.dcg.audit.violations, 0, "{}", run.profile.name);
             assert!(
@@ -365,7 +442,50 @@ mod tests {
         let int_n = suite.of_kind(SuiteKind::Int).count();
         let fp_n = suite.of_kind(SuiteKind::Fp).count();
         assert_eq!(int_n + fp_n, suite.runs.len());
-        let mean_all = suite.mean(|r| r.dcg_total_saving());
+        let mean_all = suite.mean(|r| r.dcg_total_saving()).expect("non-empty");
         assert!(mean_all > 0.0 && mean_all < 1.0);
+    }
+
+    #[test]
+    fn empty_means_are_none_not_zero() {
+        let empty = Suite {
+            runs: Vec::new(),
+            failures: Vec::new(),
+            wall_ns: 0,
+        };
+        assert_eq!(empty.mean(|r| r.dcg_total_saving()), None);
+
+        // A populated suite still has no mean for an absent kind.
+        let mut cfg = ExperimentConfig::quick();
+        cfg.benchmarks.retain(|p| p.suite == SuiteKind::Int);
+        let suite = Suite::run(&cfg, false);
+        assert!(suite.of_kind(SuiteKind::Int).count() > 0);
+        assert_eq!(suite.mean_of(SuiteKind::Fp, |r| r.dcg_total_saving()), None);
+        assert!(suite
+            .mean_of(SuiteKind::Int, |r| r.dcg_total_saving())
+            .is_some());
+    }
+
+    #[test]
+    fn panicking_benchmark_does_not_kill_the_suite() {
+        let mut cfg = ExperimentConfig::quick();
+        // An invalid profile makes the workload constructor panic inside
+        // the worker; the other benchmarks must still complete. The fresh
+        // name guarantees a trace-cache miss (a warm cache entry would
+        // skip workload construction entirely).
+        let mut broken = Spec2000::by_name("mcf").expect("known benchmark");
+        broken.name = "broken-on-purpose";
+        broken.code_blocks = 0;
+        cfg.benchmarks[1] = broken;
+        let suite = Suite::run(&cfg, false);
+        assert_eq!(suite.runs.len(), 2, "the healthy benchmarks completed");
+        let names: Vec<&str> = suite.runs.iter().map(|r| r.profile.name).collect();
+        assert_eq!(names, ["gzip", "swim"]);
+        assert_eq!(suite.failures.len(), 1);
+        assert_eq!(suite.failures[0].name, "broken-on-purpose");
+        assert!(
+            !suite.failures[0].message.is_empty(),
+            "the panic payload is reported"
+        );
     }
 }

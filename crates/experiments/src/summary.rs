@@ -19,7 +19,9 @@ pub fn summary(cfg: &ExperimentConfig) -> FigureTable {
     };
     let suite20 = Suite::run(&cfg20, false);
 
-    let pct = |x: f64| 100.0 * x;
+    // An empty mean (no runs of that kind) renders as NaN → JSON null:
+    // explicit "no data" rather than a silent 0.0.
+    let pct = |m: Option<f64>| m.map(|x| 100.0 * x).unwrap_or(f64::NAN);
     let mut t = FigureTable::new(
         "summary",
         "Headline results: paper vs this reproduction (%)",
@@ -57,10 +59,15 @@ pub fn summary(cfg: &ExperimentConfig) -> FigureTable {
         "plb-perf-loss",
         vec![
             2.9,
-            pct(1.0 - suite.mean(|r| r.plb_relative_performance(PlbVariant::Orig))),
+            pct(suite
+                .mean(|r| r.plb_relative_performance(PlbVariant::Orig))
+                .map(|m| 1.0 - m)),
         ],
     );
-    t.push_row("dcg-perf-loss", vec![0.0, pct(1.0 - suite.mean(|_| 1.0))]);
+    t.push_row(
+        "dcg-perf-loss",
+        vec![0.0, pct(suite.mean(|_| 1.0).map(|m| 1.0 - m))],
+    );
     t.push_row(
         "dcg-20stage",
         vec![24.5, pct(suite20.mean(|r| r.dcg_total_saving()))],

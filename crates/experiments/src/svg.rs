@@ -1,8 +1,11 @@
 //! SVG rendering of figure tables: regenerates the paper's grouped-bar
 //! figures as standalone vector images (no external dependencies — the
-//! renderer emits plain SVG 1.1).
+//! renderer emits plain SVG 1.1), plus the utilization-over-time line
+//! chart derived from the metrics layer's windowed time series.
 
 use std::path::Path;
+
+use dcg_core::MetricsReport;
 
 use crate::table::FigureTable;
 
@@ -127,6 +130,139 @@ pub fn write_svg(table: &FigureTable, path: &Path) -> std::io::Result<()> {
     std::fs::write(path, render_svg(table))
 }
 
+/// One line series of the utilization chart: `(label, capacity lookup,
+/// window accessor)`.
+type UtilSeries = (&'static str, u64, fn(&dcg_core::WindowSample) -> u64);
+
+/// Render a benchmark's utilization-over-time line chart from the metrics
+/// layer's windowed time series: per-window used instance-cycles over
+/// capacity for execution units, D-cache ports, result buses and the
+/// gateable pipeline latches (0–100 %).
+pub fn render_utilization_svg(name: &str, report: &MetricsReport) -> String {
+    const PLOT_H: f64 = 220.0;
+    let width = LEFT + PLOT_W + 170.0;
+    let height = TOP + PLOT_H + 46.0;
+
+    let cap = |n: &str| -> u64 {
+        report
+            .component(n)
+            .map(|c| u64::from(c.instances))
+            .unwrap_or(0)
+    };
+    let unit_cap: u64 = ["int-alu", "int-muldiv", "fp-alu", "fp-muldiv"]
+        .iter()
+        .map(|n| cap(n))
+        .sum();
+    let series: [UtilSeries; 4] = [
+        ("units", unit_cap, |w| w.unit_used),
+        ("dcache-ports", cap("dcache-ports"), |w| w.port_used),
+        ("result-buses", cap("result-buses"), |w| w.bus_used),
+        ("latches", cap("pipeline-latches"), |w| w.latch_used),
+    ];
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="Helvetica, Arial, sans-serif">"##
+    ));
+    s.push_str(&format!(
+        r##"<text x="{LEFT:.0}" y="22" font-size="14" font-weight="bold">{} — utilization over time ({} policy)</text>"##,
+        esc(name),
+        esc(&report.policy)
+    ));
+    s.push_str(&format!(
+        r##"<text x="{LEFT:.0}" y="40" font-size="11" fill="#555">{}-cycle windows, {} measured cycles</text>"##,
+        report.window, report.cycles
+    ));
+
+    // Horizontal gridlines at 0/25/50/75/100 %.
+    for q in 0..=4 {
+        let frac = f64::from(q) / 4.0;
+        let y = TOP + (1.0 - frac) * PLOT_H;
+        s.push_str(&format!(
+            r##"<line x1="{LEFT:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd" stroke-width="1"/>"##,
+            LEFT + PLOT_W
+        ));
+        s.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" fill="#555" text-anchor="end">{:.0}%</text>"##,
+            LEFT - 8.0,
+            y + 3.0,
+            100.0 * frac
+        ));
+    }
+
+    let n = report.windows.len();
+    for (si, (label, capacity, used)) in series.iter().enumerate() {
+        if *capacity == 0 || n == 0 {
+            continue;
+        }
+        let mut points = String::new();
+        for (i, w) in report.windows.iter().enumerate() {
+            let denom = (*capacity * u64::from(w.cycles)).max(1) as f64;
+            let util = (used(w) as f64 / denom).clamp(0.0, 1.0);
+            let x = if n == 1 {
+                LEFT + PLOT_W / 2.0
+            } else {
+                LEFT + (i as f64 / (n - 1) as f64) * PLOT_W
+            };
+            let y = TOP + (1.0 - util) * PLOT_H;
+            if i > 0 {
+                points.push(' ');
+            }
+            points.push_str(&format!("{x:.1},{y:.1}"));
+        }
+        s.push_str(&format!(
+            r##"<polyline points="{points}" fill="none" stroke="{}" stroke-width="1.5"/>"##,
+            PALETTE[si % PALETTE.len()]
+        ));
+        let ly = TOP + si as f64 * 18.0;
+        let lx = LEFT + PLOT_W + 24.0;
+        s.push_str(&format!(
+            r##"<rect x="{lx:.1}" y="{:.1}" width="12" height="12" fill="{}"/>"##,
+            ly - 10.0,
+            PALETTE[si % PALETTE.len()]
+        ));
+        s.push_str(&format!(
+            r##"<text x="{:.1}" y="{ly:.1}" font-size="11">{}</text>"##,
+            lx + 18.0,
+            esc(label)
+        ));
+    }
+
+    // X-axis: window start cycles at the edges.
+    if let (Some(first), Some(last)) = (report.windows.first(), report.windows.last()) {
+        s.push_str(&format!(
+            r##"<text x="{LEFT:.1}" y="{:.1}" font-size="10" fill="#555">cycle {}</text>"##,
+            TOP + PLOT_H + 16.0,
+            first.start_cycle
+        ));
+        s.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" fill="#555" text-anchor="end">cycle {}</text>"##,
+            LEFT + PLOT_W,
+            TOP + PLOT_H + 16.0,
+            last.start_cycle + u64::from(last.cycles)
+        ));
+    }
+
+    s.push_str("</svg>");
+    s
+}
+
+/// Render a utilization-over-time chart and write it to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_utilization_svg(
+    name: &str,
+    report: &MetricsReport,
+    path: &Path,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, render_utilization_svg(name, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +306,24 @@ mod tests {
         assert!(svg.contains(&format!(r##"width="{:.2}""##, PLOT_W)));
         // The negative PLB value clamps to an empty bar.
         assert!(svg.contains(r##"width="0.00""##));
+    }
+
+    #[test]
+    fn utilization_chart_has_a_line_per_resource() {
+        let cfg = crate::suite::ExperimentConfig::quick();
+        let suite = crate::suite::Suite::run(&cfg, false);
+        let run = &suite.runs[0];
+        let svg = render_utilization_svg(run.profile.name, &run.metrics);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(
+            svg.matches("<polyline").count(),
+            4,
+            "units, ports, buses, latches"
+        );
+        for label in ["units", "dcache-ports", "result-buses", "latches"] {
+            assert!(svg.contains(label), "missing series {label}");
+        }
+        assert!(svg.contains(&format!("{}-cycle windows", run.metrics.window)));
     }
 
     #[test]

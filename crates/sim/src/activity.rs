@@ -290,6 +290,11 @@ pub struct CycleActivity {
     /// next cycle — the signal behind the deterministic issue-queue gating
     /// of \[6\], which the paper cites in §2.2.2.
     pub iq_occupancy: u32,
+    /// Reorder-buffer entries occupied at the end of this cycle (window
+    /// fill level; feeds the occupancy histograms of the metrics layer).
+    pub rob_occupancy: u32,
+    /// Load/store-queue entries occupied at the end of this cycle.
+    pub lsq_occupancy: u32,
     /// Store D-cache accesses already scheduled for the *next* cycle
     /// (paper §3.3 advance knowledge), as (port, count) mask.
     pub store_ports_next: u32,

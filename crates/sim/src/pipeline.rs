@@ -708,6 +708,8 @@ impl<S: InstStream> Processor<S> {
         let feed_slot = self.cfg.depth.fetch + self.cfg.depth.decode - 1;
         self.activity.decode_ready_next = self.front[feed_slot].len() as u32;
         self.activity.iq_occupancy = self.iq.len() as u32;
+        self.activity.rob_occupancy = self.rob.len() as u32;
+        self.activity.lsq_occupancy = self.lsq.len() as u32;
         self.activity.store_ports_next = self.store_port_ring[((now + 1) % RING as u64) as usize];
         self.activity.result_bus_in_2 = self.bus_booked[((now + 2) % RING as u64) as usize];
 

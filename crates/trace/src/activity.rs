@@ -25,8 +25,8 @@
 //!   latches: groups varints (per-group occupancy)
 //!   grants : varint count, then (class u8, instance, exec_start,
 //!            active_len) per grant
-//!   ahead  : varints  decode_ready_next, iq_occupancy, store_ports_next,
-//!            result_bus_in_2
+//!   ahead  : varints  decode_ready_next, iq_occupancy, rob_occupancy,
+//!            lsq_occupancy, store_ports_next, result_bus_in_2
 //! trailer  : written by `finish()`:
 //!   magic  : 8 bytes  = "DCGACT$$"
 //!   cycles : u64 LE   records written
@@ -61,7 +61,8 @@ pub const ACTIVITY_MAGIC: [u8; 8] = *b"DCGACT01";
 pub const ACTIVITY_VERSION: u32 = 1;
 /// Fingerprint of the serialized [`CycleActivity`] field set. Bump this
 /// whenever `CycleActivity` changes shape so cached traces are invalidated.
-pub const ACTIVITY_SCHEMA: u32 = 1;
+/// Schema 2 added the `rob_occupancy`/`lsq_occupancy` fill levels.
+pub const ACTIVITY_SCHEMA: u32 = 2;
 /// Longest accepted benchmark name (shared with the instruction format).
 pub const ACTIVITY_MAX_NAME: usize = 255;
 /// Upper bound on latch groups a header may declare (sanity bound; real
@@ -377,6 +378,8 @@ impl<W: Write> ActivityTraceWriter<W> {
         for v in [
             u64::from(act.decode_ready_next),
             u64::from(act.iq_occupancy),
+            u64::from(act.rob_occupancy),
+            u64::from(act.lsq_occupancy),
             u64::from(act.store_ports_next),
             u64::from(act.result_bus_in_2),
         ] {
@@ -579,6 +582,8 @@ impl ActivityTraceReader {
         }
         act.decode_ready_next = decode_u32(buf, p, "decode_ready_next overflows u32")?;
         act.iq_occupancy = decode_u32(buf, p, "iq_occupancy overflows u32")?;
+        act.rob_occupancy = decode_u32(buf, p, "rob_occupancy overflows u32")?;
+        act.lsq_occupancy = decode_u32(buf, p, "lsq_occupancy overflows u32")?;
         act.store_ports_next = decode_u32(buf, p, "store_ports_next overflows u32")?;
         act.result_bus_in_2 = decode_u32(buf, p, "result_bus_in_2 overflows u32")?;
         self.pos = pos;
@@ -642,6 +647,8 @@ mod tests {
             result_bus_used: 4,
             decode_ready_next: 3,
             iq_occupancy: 17,
+            rob_occupancy: 41,
+            lsq_occupancy: 12,
             store_ports_next: 0b10,
             result_bus_in_2: 2,
             ..CycleActivity::default()
@@ -775,16 +782,16 @@ mod tests {
         b.grants.clear();
         w2.write_cycle(&b).expect("write");
         w2.finish().expect("finish");
-        // Locate the grant-count byte: it is the 5th byte from the end of
-        // the record section (count, then four zero-ish advance fields —
+        // Locate the grant-count byte: it is the 7th byte from the end of
+        // the record section (count, then six zero-ish advance fields —
         // all single-byte varints for this sample).
         let n = buf2.len() - ACTIVITY_TRAILER_LEN;
-        assert_eq!(buf2[n - 5], 0, "grant count byte");
-        buf2[n - 5] = 1;
-        buf2.insert(n - 4, FuClass::COUNT as u8); // invalid class
-        buf2.insert(n - 3, 0); // instance
-        buf2.insert(n - 2, 0); // exec_start
-        buf2.insert(n - 1, 0); // active_len
+        assert_eq!(buf2[n - 7], 0, "grant count byte");
+        buf2[n - 7] = 1;
+        buf2.insert(n - 6, FuClass::COUNT as u8); // invalid class
+        buf2.insert(n - 5, 0); // instance
+        buf2.insert(n - 4, 0); // exec_start
+        buf2.insert(n - 3, 0); // active_len
         let mut r = ActivityTraceReader::new(&buf2[..]).expect("header");
         let mut act = CycleActivity::default();
         assert!(matches!(

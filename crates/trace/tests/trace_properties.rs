@@ -199,7 +199,7 @@ fn act_header() -> ActivityHeader {
 /// record — the frame format must round-trip any field values exactly.
 fn arb_activity() -> Gen<CycleActivity> {
     prop::tuple((
-        prop::vec(prop::any_u64(), 33..=33usize),
+        prop::vec(prop::any_u64(), 35..=35usize),
         prop::vec(prop::any_u64(), 0..=4usize),
         prop::any_bool(),
         prop::any_bool(),
@@ -230,9 +230,11 @@ fn arb_activity() -> Gen<CycleActivity> {
             result_bus_used: w(22),
             decode_ready_next: w(23),
             iq_occupancy: w(24),
-            store_ports_next: w(25),
-            result_bus_in_2: w(26),
-            latch_occupancy: (0..ACT_GROUPS).map(|g| w(27 + g)).collect(),
+            rob_occupancy: w(25),
+            lsq_occupancy: w(26),
+            store_ports_next: w(27),
+            result_bus_in_2: w(28),
+            latch_occupancy: (0..ACT_GROUPS).map(|g| w(29 + g)).collect(),
             ..CycleActivity::default()
         };
         a.grants = grant_words

@@ -6,10 +6,12 @@
 use std::path::PathBuf;
 
 use dcg_repro::core::{
-    run_oracle, run_oracle_source, run_passive, Dcg, NoGating, PassiveRun, RunLength, TraceCache,
+    run_oracle, run_oracle_source, run_passive, run_passive_with_sinks, Dcg, MetricsSink, NoGating,
+    PassiveRun, RunLength, TraceCache,
 };
+use dcg_repro::experiments::metrics_json;
 use dcg_repro::power::{Component, PowerReport};
-use dcg_repro::sim::{LatchGroups, SimConfig};
+use dcg_repro::sim::{LatchGroups, Processor, SimConfig};
 use dcg_repro::workloads::{Spec2000, SyntheticWorkload};
 
 const SEED: u64 = 11;
@@ -106,6 +108,74 @@ fn replay_is_bit_identical_to_live_across_profiles_and_depths() {
                 "{tag}: replay must be bit-identical to live"
             );
         }
+    }
+}
+
+/// Run the passive policies with a [`MetricsSink`] riding along and
+/// serialize the resulting report — the integer-only JSON document is
+/// the byte-equivalence surface.
+fn metrics_doc_live(cfg: &SimConfig, name: &str) -> String {
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut baseline = NoGating::new(cfg, &groups);
+    let mut dcg = Dcg::new(cfg, &groups);
+    let mut probe = Dcg::new(cfg, &groups);
+    let mut metrics = MetricsSink::new(&mut probe, cfg, &groups);
+    let profile = Spec2000::by_name(name).unwrap();
+    let mut cpu = Processor::new(cfg.clone(), SyntheticWorkload::new(profile, SEED));
+    run_passive_with_sinks(
+        cfg,
+        &mut cpu,
+        RunLength::quick(),
+        &mut [&mut baseline, &mut dcg],
+        &mut [&mut metrics],
+    );
+    metrics_json(&metrics.into_report()).to_string()
+}
+
+fn metrics_doc_cached(cache: &TraceCache, cfg: &SimConfig, name: &str) -> String {
+    let groups = LatchGroups::new(&cfg.depth);
+    let mut baseline = NoGating::new(cfg, &groups);
+    let mut dcg = Dcg::new(cfg, &groups);
+    let mut probe = Dcg::new(cfg, &groups);
+    let mut metrics = MetricsSink::new(&mut probe, cfg, &groups);
+    let profile = Spec2000::by_name(name).unwrap();
+    cache.run_passive_cached_with(
+        cfg,
+        profile,
+        SEED,
+        RunLength::quick(),
+        &mut [&mut baseline, &mut dcg],
+        &mut [&mut metrics],
+    );
+    metrics_json(&metrics.into_report()).to_string()
+}
+
+/// The cycle-level metrics document is part of the equivalence contract:
+/// histograms, windowed time series and the gating audit trail must come
+/// out byte-identical whether the activity stream is live, being recorded
+/// (cold cache) or replayed (warm cache).
+#[test]
+fn metrics_json_is_byte_identical_across_live_and_replay() {
+    let cfg = SimConfig::baseline_8wide();
+    for name in ["gzip", "swim"] {
+        let cache = fresh_cache(&format!("metrics-{name}"));
+
+        let live = metrics_doc_live(&cfg, name);
+        let cold = metrics_doc_cached(&cache, &cfg, name);
+        assert!(
+            cache
+                .replay_source(&cfg, name, SEED, RunLength::quick())
+                .is_some(),
+            "{name}: cold run must leave a valid cache entry"
+        );
+        let warm = metrics_doc_cached(&cache, &cfg, name);
+
+        assert!(
+            live.contains("\"audit\""),
+            "{name}: metrics document must carry the audit trail"
+        );
+        assert_eq!(live, cold, "{name}: recording must not change metrics");
+        assert_eq!(live, warm, "{name}: replayed metrics must match live");
     }
 }
 
