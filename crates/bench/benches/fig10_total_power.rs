@@ -1,5 +1,8 @@
 //! Regenerates the paper's Figure 10 (see dcg-experiments::fig10).
 
 fn main() {
-    dcg_bench::run_fig10_total_power();
+    let lost = dcg_bench::run_fig10_total_power();
+    if lost > 0 {
+        std::process::exit(1);
+    }
 }

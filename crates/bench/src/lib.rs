@@ -39,7 +39,18 @@ pub fn bench_suite(with_plb: bool) -> Suite {
     );
     let suite = Suite::run(&cfg, with_plb);
     eprintln!("suite finished in {:.2} s wall", suite.wall_ns as f64 / 1e9);
+    report_suite_failures(&suite);
     suite
+}
+
+/// Print every benchmark the suite lost to a panic and return how many
+/// there were. Harness binaries turn a non-zero count into a non-zero
+/// exit code — a partially-failed suite must never look green.
+pub fn report_suite_failures(suite: &Suite) -> usize {
+    for f in &suite.failures {
+        eprintln!("benchmark {} FAILED: {}", f.name, f.message);
+    }
+    suite.failures.len()
 }
 
 /// Workspace root, anchored on this crate's manifest so destinations do
@@ -281,14 +292,14 @@ pub fn run_sim_throughput() -> std::io::Result<PathBuf> {
 /// counters, occupancy histograms, windowed time series and the
 /// gating-decision audit trail, plus one utilization-over-time SVG per
 /// benchmark under the workspace `results/figures/`. Returns the JSON
-/// path.
+/// path and the number of benchmarks the suite lost to panics.
 ///
 /// # Panics
 ///
 /// Panics if no benchmark produced audit records: DCG's conservative
 /// gating always powers some idle blocks, so an empty trail means the
 /// metrics layer is broken.
-pub fn run_suite_metrics() -> std::io::Result<PathBuf> {
+pub fn run_suite_metrics() -> std::io::Result<(PathBuf, usize)> {
     let suite = bench_suite(false);
     let with_audit = suite
         .runs
@@ -320,14 +331,50 @@ pub fn run_suite_metrics() -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("suite_metrics.json");
     std::fs::write(&path, format!("{doc}\n"))?;
-    Ok(path)
+    Ok((path, suite.failures.len()))
 }
 
 /// The `fig10_total_power` harness: run the shared suite and emit the
 /// paper's Figure 10 with the timing trajectory embedded in the JSON.
-pub fn run_fig10_total_power() {
+/// Returns the number of benchmarks the suite lost to panics.
+pub fn run_fig10_total_power() -> usize {
     let suite = bench_suite(true);
     emit_timed(&dcg_experiments::fig10(&suite), &suite);
+    suite.failures.len()
+}
+
+/// The `--faults N` harness: run the seeded fault-injection campaign
+/// (`DCG_FAULT_SEED` replays a reported one) and write its classification
+/// document to `crates/bench/results/fault_campaign.json`. Returns the
+/// path and whether every fault was classified (no silent divergence).
+pub fn run_fault_campaign(faults: u32) -> std::io::Result<(PathBuf, bool)> {
+    use dcg_experiments::{fault_campaign_json, fault_seed_from_env, FaultCampaign, FaultClass};
+
+    let seed = fault_seed_from_env();
+    eprintln!("fault campaign: {faults} faults, seed {seed:#x} (DCG_FAULT_SEED={seed} replays)");
+    let campaign = FaultCampaign::run(seed, faults);
+    for o in &campaign.outcomes {
+        eprintln!(
+            "fault {:>3}  {:<20} {:<10} {}",
+            o.spec.id,
+            o.spec.point.label(),
+            o.class.label(),
+            o.detail
+        );
+    }
+    eprintln!(
+        "campaign: {} detected, {} masked, {} tolerated, {} undetected",
+        campaign.count(FaultClass::Detected),
+        campaign.count(FaultClass::Masked),
+        campaign.count(FaultClass::Tolerated),
+        campaign.count(FaultClass::Undetected),
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("fault_campaign.json");
+    std::fs::write(&path, format!("{}\n", fault_campaign_json(&campaign)))?;
+    Ok((path, campaign.all_classified()))
 }
 
 /// The `alu_sweep_cache` harness: demonstrate the simulate-once

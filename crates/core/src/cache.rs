@@ -31,6 +31,7 @@ use dcg_trace::{
 };
 use dcg_workloads::{BenchmarkProfile, SyntheticWorkload};
 
+use crate::error::DcgError;
 use crate::policy::GatingPolicy;
 use crate::runner::{run_passive_with_sinks, PassiveRun, RunLength};
 use crate::sinks::{ActivitySink, RecorderSink};
@@ -52,10 +53,14 @@ static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 static STORE_FAILURES: AtomicU64 = AtomicU64::new(0);
 /// Process-wide count of failed invalid-entry deletions.
 static EVICT_FAILURES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of replay drives that failed mid-run.
+static REPLAY_FAILURES: AtomicU64 = AtomicU64::new(0);
 /// Gate for the once-per-process store-failure warning.
 static STORE_WARNING: Once = Once::new();
 /// Gate for the once-per-process evict-failure warning.
 static EVICT_WARNING: Once = Once::new();
+/// Gate for the once-per-process replay-failure warning.
+static REPLAY_WARNING: Once = Once::new();
 
 /// Snapshot of trace-cache I/O health for this process.
 ///
@@ -71,6 +76,9 @@ pub struct CacheHealth {
     pub store_failures: u64,
     /// Invalid cache entries that could not be deleted.
     pub evict_failures: u64,
+    /// Replay drives that failed mid-run on a validated entry (the entry
+    /// is evicted and the caller re-simulates live).
+    pub replay_failures: u64,
 }
 
 impl CacheHealth {
@@ -79,6 +87,7 @@ impl CacheHealth {
         CacheHealth {
             store_failures: STORE_FAILURES.load(Ordering::Relaxed),
             evict_failures: EVICT_FAILURES.load(Ordering::Relaxed),
+            replay_failures: REPLAY_FAILURES.load(Ordering::Relaxed),
         }
     }
 }
@@ -90,6 +99,19 @@ fn note_store_failure(path: &Path, what: &str) {
             "warning: trace cache store failed ({what}: {}); caching is \
              disabled in effect and every run will re-simulate \
              (further store failures are counted, not repeated here)",
+            path.display()
+        );
+    });
+}
+
+fn note_replay_failure(path: &Path, err: &DcgError) {
+    REPLAY_FAILURES.fetch_add(1, Ordering::Relaxed);
+    REPLAY_WARNING.call_once(|| {
+        eprintln!(
+            "warning: cached activity trace {} failed mid-replay ({err}); \
+             the entry is evicted and the run falls back to a live \
+             simulation (further replay failures are counted, not \
+             repeated here)",
             path.display()
         );
     });
@@ -182,6 +204,20 @@ impl TraceCache {
         self.dir.join(format!("{name}-{key:016x}.dcgact"))
     }
 
+    /// The on-disk path the entry for one `(config, workload, seed,
+    /// length)` tuple occupies — whether or not it exists yet. The
+    /// fault-injection campaign uses this to corrupt stored entries at
+    /// seeded offsets and verify the validation layer rejects them.
+    pub fn entry_path_for(
+        &self,
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+    ) -> PathBuf {
+        self.entry_path(name, Self::key(config, name, seed, length))
+    }
+
     /// Open a validated replay source for the tuple, or `None` on a cache
     /// miss. Validation re-derives the content key, checks every header
     /// identity field and verifies the trailer checksum over the record
@@ -241,6 +277,14 @@ impl TraceCache {
     /// recorded activity on a hit; simulate live and record on a miss.
     /// Results are bit-identical either way.
     ///
+    /// # Errors
+    ///
+    /// Fails only if a *validated* cache entry still fails mid-replay
+    /// (I/O fault after validation). The entry is evicted and counted in
+    /// [`CacheHealth::replay_failures`]; the caller must retry with
+    /// **fresh** policies and sinks — the failed drive already fed them
+    /// part of a stream, so reusing them would corrupt results.
+    ///
     /// # Panics
     ///
     /// As [`crate::run_passive`].
@@ -251,7 +295,7 @@ impl TraceCache {
         seed: u64,
         length: RunLength,
         policies: &mut [&mut dyn GatingPolicy],
-    ) -> PassiveRun {
+    ) -> Result<PassiveRun, DcgError> {
         self.run_passive_cached_with(config, profile, seed, length, policies, &mut [])
     }
 
@@ -259,6 +303,10 @@ impl TraceCache {
     /// the same pass — hit or miss, the extra sinks observe the identical
     /// activity stream, so a [`crate::MetricsSink`] attached here yields
     /// bit-identical metrics either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceCache::run_passive_cached`].
     pub fn run_passive_cached_with(
         &self,
         config: &SimConfig,
@@ -267,9 +315,27 @@ impl TraceCache {
         length: RunLength,
         policies: &mut [&mut dyn GatingPolicy],
         extra: &mut [&mut dyn ActivitySink],
-    ) -> PassiveRun {
+    ) -> Result<PassiveRun, DcgError> {
         if let Some(mut replay) = self.replay_source(config, profile.name, seed, length) {
-            return run_passive_with_sinks(config, &mut replay, length, policies, extra);
+            match run_passive_with_sinks(config, &mut replay, length, policies, extra) {
+                Ok(run) => return Ok(run),
+                Err(e) => {
+                    // The entry validated but would not drive the run:
+                    // evict it so the next attempt misses and simulates
+                    // live, then surface the error — the caller's
+                    // policies have consumed a partial stream and must be
+                    // rebuilt before retrying.
+                    let path = self
+                        .entry_path(profile.name, Self::key(config, profile.name, seed, length));
+                    note_replay_failure(&path, &e);
+                    if path.exists() {
+                        if let Err(io) = fs::remove_file(&path) {
+                            note_evict_failure(&path, &io);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
         }
 
         let mut cpu = Processor::new(config.clone(), SyntheticWorkload::new(profile, seed));
@@ -292,6 +358,7 @@ impl TraceCache {
             }
             sinks.push(&mut recorder);
             run_passive_with_sinks(config, &mut cpu, length, policies, &mut sinks)
+                .expect("a live simulation source cannot fail")
         };
         if let Ok(bytes) = recorder.finish() {
             self.store(
@@ -300,7 +367,7 @@ impl TraceCache {
                 &bytes,
             );
         }
-        run
+        Ok(run)
     }
 
     /// Best-effort atomic store: write to a unique temp file, then rename
@@ -383,7 +450,9 @@ mod tests {
 
         let mut base = NoGating::new(&cfg, &groups);
         let mut dcg = Dcg::new(&cfg, &groups);
-        let cold = cache.run_passive_cached(&cfg, profile, 9, short(), &mut [&mut base, &mut dcg]);
+        let cold = cache
+            .run_passive_cached(&cfg, profile, 9, short(), &mut [&mut base, &mut dcg])
+            .expect("cold run");
         assert!(
             cache
                 .replay_source(&cfg, profile.name, 9, short())
@@ -393,8 +462,9 @@ mod tests {
 
         let mut base2 = NoGating::new(&cfg, &groups);
         let mut dcg2 = Dcg::new(&cfg, &groups);
-        let warm =
-            cache.run_passive_cached(&cfg, profile, 9, short(), &mut [&mut base2, &mut dcg2]);
+        let warm = cache
+            .run_passive_cached(&cfg, profile, 9, short(), &mut [&mut base2, &mut dcg2])
+            .expect("warm run");
         assert_eq!(report_bits(&cold), report_bits(&warm));
         assert_eq!(cold.stats.cycles, warm.stats.cycles);
         assert_eq!(cold.stats.mispredicts, warm.stats.mispredicts);
@@ -431,7 +501,9 @@ mod tests {
         let before = CacheHealth::snapshot().store_failures;
 
         let mut base = NoGating::new(&cfg, &groups);
-        let run = cache.run_passive_cached(&cfg, profile, 3, short(), &mut [&mut base]);
+        let run = cache
+            .run_passive_cached(&cfg, profile, 3, short(), &mut [&mut base])
+            .expect("uncached run");
         assert!(run.stats.cycles > 0, "the run itself must still succeed");
         assert!(
             CacheHealth::snapshot().store_failures > before,
@@ -478,7 +550,9 @@ mod tests {
         let profile = Spec2000::by_name("gzip").unwrap();
 
         let mut base = NoGating::new(&cfg, &groups);
-        let clean = cache.run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base]);
+        let clean = cache
+            .run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base])
+            .expect("clean run");
 
         // Truncate the entry: the validation scan must reject and delete
         // it, and the next cached run must still produce the same result.
@@ -493,7 +567,9 @@ mod tests {
         assert!(!path.exists(), "invalid entries are deleted");
 
         let mut base2 = NoGating::new(&cfg, &groups);
-        let relive = cache.run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base2]);
+        let relive = cache
+            .run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base2])
+            .expect("fallback run");
         assert_eq!(report_bits(&clean), report_bits(&relive));
     }
 }

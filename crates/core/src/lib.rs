@@ -17,9 +17,15 @@
 //! * [`NoGating`] — the ungated base case all savings are measured
 //!   against;
 //! * [`run_passive`]/[`run_active`] — runners that drive a simulation
-//!   under policies, account energy via `dcg-power`, and *audit* gating
-//!   safety: a DCG run panics if a gated block is ever used (the paper's
-//!   "no performance loss, no lost opportunity" determinism guarantee).
+//!   under policies, account energy via `dcg-power`, and enforce gating
+//!   safety: a [`GatingSafetyChecker`] asserts every cycle that the
+//!   powered set covers the actual activity (the paper's "no performance
+//!   loss, no lost opportunity" determinism guarantee); a violation is a
+//!   structured [`Hazard`] and the class *fails open* to ungated for a
+//!   backoff window, never a panic;
+//! * [`FaultPlan`]/[`FaultyPolicy`] — a deterministic, seeded
+//!   fault-injection layer that proves the checker catches what it must
+//!   (driven by the `dcg-experiments` fault campaign).
 //!
 //! ```
 //! use dcg_core::{run_passive, Dcg, NoGating, RunLength};
@@ -40,6 +46,7 @@
 //! let saving = run.outcomes[1].report.power_saving_vs(&run.outcomes[0].report);
 //! assert!(saving > 0.0, "DCG saves power");
 //! assert_eq!(run.outcomes[1].audit.violations, 0, "and never gates a used block");
+//! assert_eq!(run.outcomes[1].safety.total_detected(), 0, "zero hazards detected");
 //! ```
 
 #![deny(missing_docs)]
@@ -47,15 +54,20 @@
 
 mod cache;
 mod dcg;
+mod error;
+mod faults;
 pub mod metrics;
 mod plb;
 mod policy;
 mod runner;
+mod safety;
 mod sinks;
 mod source;
 
 pub use cache::{CacheHealth, TraceCache, TRACE_CACHE_ENV};
 pub use dcg::{Dcg, DcgOptions};
+pub use error::DcgError;
+pub use faults::{FaultPlan, FaultPoint, FaultSpec, FaultWindow, FaultyPolicy, PanicSink};
 pub use metrics::{
     fu_class_label, ComponentMetrics, GateDisagreement, Histogram, MetricsConfig, MetricsReport,
     WindowSample, DEFAULT_AUDIT_CAPACITY, DEFAULT_METRICS_WINDOW,
@@ -67,6 +79,7 @@ pub use runner::{
     run_passive_source, run_passive_with_sinks, run_wattch_styles, run_wattch_styles_source,
     GatingAudit, PassiveRun, PolicyOutcome, RunLength, WattchStyles,
 };
+pub use safety::{GatingSafetyChecker, Hazard, HazardClass, SafetyConfig, SafetyReport};
 pub use sinks::{ActivitySink, MetricsSink};
 pub use source::{ActivitySource, ReplaySource};
 

@@ -13,7 +13,9 @@ use dcg_power::{GateState, PowerModel, PowerReport};
 use dcg_sim::{CycleActivity, LatchGroups, Processor, SimConfig, SimStats};
 use dcg_workloads::InstStream;
 
+use crate::error::DcgError;
 use crate::policy::GatingPolicy;
+use crate::safety::SafetyReport;
 use crate::sinks::{ActivitySink, OracleSink, PolicySink, StatsSink, WattchSink};
 use crate::source::ActivitySource;
 
@@ -54,14 +56,20 @@ pub struct PolicyOutcome {
     pub report: PowerReport,
     /// Gating audit for the measured window.
     pub audit: GatingAudit,
+    /// What the safety checker saw and did (all zeros on a fault-free
+    /// run; only strictly audited policies carry a checker).
+    pub safety: SafetyReport,
 }
 
 /// Safety/quality audit of a gating policy.
 ///
 /// `violations` counts cycles where a gated block was actually used — for
-/// DCG this must be **zero** (the paper's determinism guarantee); the
-/// runner panics if it is not. `idle_enabled_*` quantify lost opportunity
-/// (blocks powered but unused), which is how PLB's imprecision shows up.
+/// DCG this must be **zero** (the paper's determinism guarantee). Strict
+/// policies run behind a [`crate::GatingSafetyChecker`] that catches and
+/// fail-opens any violation *before* it reaches this audit, so a non-zero
+/// count here means the safety net itself is broken. `idle_enabled_*`
+/// quantify lost opportunity (blocks powered but unused), which is how
+/// PLB's imprecision shows up.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GatingAudit {
     /// Cycles × blocks where a gated block was used (must be 0 for DCG).
@@ -75,7 +83,7 @@ pub struct GatingAudit {
 }
 
 impl GatingAudit {
-    pub(crate) fn check(&mut self, gate: &GateState, act: &CycleActivity, strict: bool) {
+    pub(crate) fn check(&mut self, gate: &GateState, act: &CycleActivity) {
         let mut violations = 0u64;
         for c in FuClass::ALL {
             if c == FuClass::MemPort {
@@ -107,13 +115,6 @@ impl GatingAudit {
         }
 
         self.violations += violations;
-        assert!(
-            !(strict && violations > 0),
-            "deterministic gating violated: a gated block was used \
-             (cycle {}, {} violations)",
-            act.cycle,
-            violations
-        );
     }
 }
 
@@ -136,11 +137,16 @@ pub struct PassiveRun {
 /// exactly once. Sinks that constrain resources (active policies) are
 /// polled each cycle; the constraints are forwarded to the source, which
 /// must be a live simulation.
+///
+/// # Errors
+///
+/// Propagates the first [`ActivitySource::next_cycle`] failure (replayed
+/// traces only; live simulations are infallible).
 pub fn drive(
     source: &mut dyn ActivitySource,
     sinks: &mut [&mut dyn ActivitySink],
     length: RunLength,
-) {
+) -> Result<(), DcgError> {
     let warm = length.warmup_insts;
     let target = warm + length.measure_insts;
     let mut measuring = false;
@@ -156,7 +162,7 @@ pub fn drive(
                 source.apply_constraints(c);
             }
         }
-        let act = source.next_cycle();
+        let act = source.next_cycle()?;
         if measuring {
             for s in sinks.iter_mut() {
                 s.measure_cycle(act);
@@ -174,18 +180,22 @@ pub fn drive(
             s.begin_measure();
         }
     }
+    Ok(())
 }
 
 /// Run `stream` on `config` evaluating several **passive** policies (and
 /// implicitly sharing one timing simulation, since passive policies cannot
 /// perturb it). Returns one outcome per policy, in order.
 ///
-/// DCG-family policies are audited strictly: gating a used block panics.
+/// DCG-family policies are audited strictly, behind a
+/// [`crate::GatingSafetyChecker`]: a gated-but-used block is recorded as
+/// a [`crate::Hazard`] and the class fails open to ungated (see each
+/// outcome's [`PolicyOutcome::safety`]).
 ///
 /// # Panics
 ///
 /// Panics if any policy is active ([`GatingPolicy::is_passive`] is
-/// `false`), or if a strict policy gates a used block.
+/// `false`).
 pub fn run_passive<S: InstStream>(
     config: &SimConfig,
     stream: S,
@@ -194,11 +204,17 @@ pub fn run_passive<S: InstStream>(
 ) -> PassiveRun {
     let mut cpu = Processor::new(config.clone(), stream);
     run_passive_source(config, &mut cpu, length, policies)
+        .expect("a live simulation source cannot fail")
 }
 
 /// [`run_passive`] over an arbitrary [`ActivitySource`] — e.g. a
 /// [`crate::ReplaySource`] over a recorded activity trace, which skips
 /// the timing simulation entirely.
+///
+/// # Errors
+///
+/// Propagates a replay failure (exhausted or corrupt trace); partial
+/// sink state is discarded with the run.
 ///
 /// # Panics
 ///
@@ -208,7 +224,7 @@ pub fn run_passive_source(
     source: &mut dyn ActivitySource,
     length: RunLength,
     policies: &mut [&mut dyn GatingPolicy],
-) -> PassiveRun {
+) -> Result<PassiveRun, DcgError> {
     run_passive_with_sinks(config, source, length, policies, &mut [])
 }
 
@@ -218,13 +234,17 @@ pub fn run_passive_source(
 /// [`crate::MetricsSink`] to collect cycle-level observability without an
 /// extra simulation. Extra sinks see exactly the cycles the policy sinks
 /// see (warm-up and measured), after the policy sinks in fan-out order.
+///
+/// # Errors
+///
+/// As [`run_passive_source`].
 pub fn run_passive_with_sinks(
     config: &SimConfig,
     source: &mut dyn ActivitySource,
     length: RunLength,
     policies: &mut [&mut dyn GatingPolicy],
     extra: &mut [&mut dyn ActivitySink],
-) -> PassiveRun {
+) -> Result<PassiveRun, DcgError> {
     for p in policies.iter() {
         assert!(
             p.is_passive(),
@@ -250,16 +270,16 @@ pub fn run_passive_with_sinks(
         for e in extra.iter_mut() {
             sinks.push(&mut **e);
         }
-        drive(source, &mut sinks, length);
+        drive(source, &mut sinks, length)?;
     }
 
-    PassiveRun {
+    Ok(PassiveRun {
         outcomes: policy_sinks
             .into_iter()
             .map(PolicySink::into_outcome)
             .collect(),
         stats: stats.into_stats(),
-    }
+    })
 }
 
 /// Run `stream` on `config` under the **clairvoyant oracle**: every
@@ -278,21 +298,25 @@ pub fn run_oracle<S: InstStream>(
     length: RunLength,
 ) -> PolicyOutcome {
     let mut cpu = Processor::new(config.clone(), stream);
-    run_oracle_source(config, &mut cpu, length)
+    run_oracle_source(config, &mut cpu, length).expect("a live simulation source cannot fail")
 }
 
 /// [`run_oracle`] over an arbitrary [`ActivitySource`] (the oracle only
 /// reads activity, so a replayed trace serves as well as a live run).
+///
+/// # Errors
+///
+/// As [`run_passive_source`].
 pub fn run_oracle_source(
     config: &SimConfig,
     source: &mut dyn ActivitySource,
     length: RunLength,
-) -> PolicyOutcome {
+) -> Result<PolicyOutcome, DcgError> {
     let groups = LatchGroups::new(&config.depth);
     let model = PowerModel::new(config, &groups);
     let mut sink = OracleSink::new(&model, config, &groups);
-    drive(source, &mut [&mut sink], length);
-    sink.into_outcome()
+    drive(source, &mut [&mut sink], length)?;
+    Ok(sink.into_outcome())
 }
 
 /// Reports for Wattch's idealized conditional-clocking reference styles,
@@ -347,19 +371,24 @@ pub fn run_wattch_styles<S: InstStream>(
 ) -> WattchStyles {
     let mut cpu = Processor::new(config.clone(), stream);
     run_wattch_styles_source(config, &mut cpu, length)
+        .expect("a live simulation source cannot fail")
 }
 
 /// [`run_wattch_styles`] over an arbitrary [`ActivitySource`].
+///
+/// # Errors
+///
+/// As [`run_passive_source`].
 pub fn run_wattch_styles_source(
     config: &SimConfig,
     source: &mut dyn ActivitySource,
     length: RunLength,
-) -> WattchStyles {
+) -> Result<WattchStyles, DcgError> {
     let groups = LatchGroups::new(&config.depth);
     let model = PowerModel::new(config, &groups);
     let mut sink = WattchSink::new(&model, config, &groups);
-    drive(source, &mut [&mut sink], length);
-    sink.into_styles()
+    drive(source, &mut [&mut sink], length)?;
+    Ok(sink.into_styles())
 }
 
 /// Run `stream` on `config` under one **active** policy (PLB): the policy's
@@ -376,9 +405,15 @@ pub fn run_active<S: InstStream>(
 ) -> PolicyOutcome {
     let mut cpu = Processor::new(config.clone(), stream);
     run_active_source(config, &mut cpu, length, policy)
+        .expect("a live simulation source cannot fail")
 }
 
 /// [`run_active`] over an explicit source.
+///
+/// # Errors
+///
+/// As [`run_passive_source`] (unreachable in practice: constraint
+/// support implies a live, infallible source).
 ///
 /// # Panics
 ///
@@ -390,7 +425,7 @@ pub fn run_active_source(
     source: &mut dyn ActivitySource,
     length: RunLength,
     policy: &mut dyn GatingPolicy,
-) -> PolicyOutcome {
+) -> Result<PolicyOutcome, DcgError> {
     assert!(
         source.supports_constraints(),
         "active policy {} needs a live simulation source",
@@ -399,8 +434,8 @@ pub fn run_active_source(
     let groups = LatchGroups::new(&config.depth);
     let model = PowerModel::new(config, &groups);
     let mut sink = PolicySink::new(policy, &model, config, &groups, false, true);
-    drive(source, &mut [&mut sink], length);
-    sink.into_outcome()
+    drive(source, &mut [&mut sink], length)?;
+    Ok(sink.into_outcome())
 }
 
 #[cfg(test)]

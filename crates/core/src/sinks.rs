@@ -20,6 +20,7 @@ use crate::metrics::{
 };
 use crate::policy::GatingPolicy;
 use crate::runner::{GatingAudit, PolicyOutcome, WattchStyles};
+use crate::safety::{GatingSafetyChecker, SafetyReport};
 
 /// A consumer of per-cycle activity.
 ///
@@ -53,9 +54,12 @@ pub(crate) struct PolicySink<'a> {
     model: &'a PowerModel,
     config: &'a SimConfig,
     groups: &'a LatchGroups,
-    /// Strict audit: panic the moment a gated block is used (DCG's
-    /// determinism guarantee). Active policies audit non-strictly.
-    strict: bool,
+    /// Strict policies (DCG's determinism guarantee) run behind the
+    /// safety checker: a gated-but-used block becomes a recorded hazard
+    /// and the class fails open. Active policies (PLB) are predictive by
+    /// design and carry no checker — their misses are lost opportunity,
+    /// not safety violations.
+    safety: Option<GatingSafetyChecker>,
     /// Forward the policy's resource constraints to the source (active
     /// runs only; passive policies never constrain).
     constrain: bool,
@@ -81,7 +85,7 @@ impl<'a> PolicySink<'a> {
             model,
             config,
             groups,
-            strict,
+            safety: strict.then(|| GatingSafetyChecker::new(config, groups)),
             constrain,
             report: PowerReport::new(),
             audit: GatingAudit::default(),
@@ -94,6 +98,10 @@ impl<'a> PolicySink<'a> {
             name: self.policy.name().to_string(),
             report: self.report,
             audit: self.audit,
+            safety: self
+                .safety
+                .map(GatingSafetyChecker::into_report)
+                .unwrap_or_default(),
         }
     }
 }
@@ -101,15 +109,25 @@ impl<'a> PolicySink<'a> {
 impl ActivitySink for PolicySink<'_> {
     fn warmup_cycle(&mut self, act: &CycleActivity) {
         // Keep the policy's pipelined control state primed, but record
-        // nothing.
+        // nothing. The safety checker still screens warm-up cycles: a
+        // hazard is a hazard whenever it strikes, and backoff state must
+        // be continuous across the measurement boundary.
         self.policy.gate_into(act.cycle, &mut self.gate);
+        if let Some(chk) = &mut self.safety {
+            chk.screen(&mut self.gate, act);
+        }
         self.policy.observe(act);
     }
 
     fn measure_cycle(&mut self, act: &CycleActivity) {
         self.policy.gate_into(act.cycle, &mut self.gate);
         debug_assert!(self.gate.validate(self.config, self.groups).is_ok());
-        self.audit.check(&self.gate, act, self.strict);
+        if let Some(chk) = &mut self.safety {
+            // Screen (and fail open) *before* the audit and the energy
+            // accounting: downstream consumers see only safe gates.
+            chk.screen(&mut self.gate, act);
+        }
+        self.audit.check(&self.gate, act);
         self.report
             .record(&self.model.cycle_energy(act, &self.gate), act.committed);
         self.policy.observe(act);
@@ -148,6 +166,7 @@ impl<'a> OracleSink<'a> {
             name: "oracle".to_string(),
             report: self.report,
             audit: GatingAudit::default(),
+            safety: SafetyReport::default(),
         }
     }
 }

@@ -17,6 +17,8 @@ use dcg_sim::{CycleActivity, Processor, ResourceConstraints};
 use dcg_trace::{ActivityHeader, ActivityTraceReader};
 use dcg_workloads::InstStream;
 
+use crate::error::DcgError;
+
 /// A producer of one [`CycleActivity`] record per simulated cycle.
 ///
 /// The contract mirrors [`Processor::step`]: each call to
@@ -26,7 +28,14 @@ use dcg_workloads::InstStream;
 /// produced cycle.
 pub trait ActivitySource {
     /// Produce the next cycle's activity.
-    fn next_cycle(&mut self) -> &CycleActivity;
+    ///
+    /// # Errors
+    ///
+    /// Live simulations are infallible; a replayed trace fails with
+    /// [`DcgError::ReplayExhausted`] when the recording ends before the
+    /// run does, or [`DcgError::ReplayCorrupt`] when a record fails to
+    /// decode mid-stream.
+    fn next_cycle(&mut self) -> Result<&CycleActivity, DcgError>;
 
     /// Instructions committed so far.
     fn committed(&self) -> u64;
@@ -48,8 +57,8 @@ pub trait ActivitySource {
 }
 
 impl<S: InstStream> ActivitySource for Processor<S> {
-    fn next_cycle(&mut self) -> &CycleActivity {
-        self.step()
+    fn next_cycle(&mut self) -> Result<&CycleActivity, DcgError> {
+        Ok(self.step())
     }
 
     fn committed(&self) -> u64 {
@@ -106,21 +115,20 @@ impl fmt::Debug for ReplaySource {
 }
 
 impl ActivitySource for ReplaySource {
-    fn next_cycle(&mut self) -> &CycleActivity {
+    fn next_cycle(&mut self) -> Result<&CycleActivity, DcgError> {
         match self.reader.read_cycle(&mut self.act) {
-            Ok(true) => &self.act,
-            Ok(false) => panic!(
-                "activity trace '{}' ended early at cycle {} ({} committed); \
-                 the run wants more cycles than were recorded",
-                self.reader.header().name,
-                self.reader.cycles_read(),
-                self.reader.committed()
-            ),
-            Err(e) => panic!(
-                "activity trace '{}' is corrupt at cycle {}: {e}",
-                self.reader.header().name,
-                self.reader.cycles_read() + 1
-            ),
+            Ok(true) => Ok(&self.act),
+            Ok(false) => Err(DcgError::ReplayExhausted {
+                name: self.reader.header().name.clone(),
+                cycles: self.reader.cycles_read(),
+                committed: self.reader.committed(),
+                wanted: self.reader.header().warmup_insts + self.reader.header().measure_insts,
+            }),
+            Err(e) => Err(DcgError::ReplayCorrupt {
+                name: self.reader.header().name.clone(),
+                cycle: self.reader.cycles_read() + 1,
+                source: e,
+            }),
         }
     }
 
@@ -179,7 +187,7 @@ mod tests {
         assert!(!replay.supports_constraints());
         for _ in 0..200 {
             let a = live.step().clone();
-            let b = replay.next_cycle();
+            let b = replay.next_cycle().expect("within recorded length");
             assert_eq!(&a, b);
         }
         assert_eq!(ActivitySource::committed(&live), replay.committed());
@@ -187,12 +195,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ended early")]
-    fn replay_past_end_panics() {
+    fn replay_past_end_errors_with_exhausted() {
         let bytes = recorded(5);
         let mut replay = ReplaySource::new(ActivityTraceReader::new(&bytes[..]).expect("reader"));
-        for _ in 0..6 {
-            replay.next_cycle();
+        for _ in 0..5 {
+            replay.next_cycle().expect("recorded cycle");
+        }
+        match replay.next_cycle() {
+            Err(DcgError::ReplayExhausted { name, cycles, .. }) => {
+                assert_eq!(name, "gzip");
+                assert_eq!(cycles, 5);
+            }
+            other => panic!("expected ReplayExhausted, got {other:?}"),
         }
     }
 

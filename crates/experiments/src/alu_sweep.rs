@@ -30,14 +30,24 @@ fn ipc_with_alus(
     let groups = LatchGroups::new(&cfg.depth);
     let mut policy = NoGating::new(&cfg, &groups);
     let profile = Spec2000::by_name(name).expect("known benchmark");
-    let run = match cache {
-        Some(c) => c.run_passive_cached(&cfg, profile, seed, length, &mut [&mut policy]),
-        None => run_passive(
+    let live = |policy: &mut NoGating| {
+        run_passive(
             &cfg,
             SyntheticWorkload::new(profile, seed),
             length,
-            &mut [&mut policy],
-        ),
+            &mut [&mut *policy],
+        )
+    };
+    let run = match cache {
+        Some(c) => c
+            .run_passive_cached(&cfg, profile, seed, length, &mut [&mut policy])
+            .unwrap_or_else(|e| {
+                // Fail open: the entry has been evicted; rebuild the
+                // policy and simulate live.
+                eprintln!("warning: {name}: cached replay failed ({e}); re-simulating live");
+                live(&mut NoGating::new(&cfg, &groups))
+            }),
+        None => live(&mut policy),
     };
     run.stats.ipc()
 }

@@ -7,6 +7,7 @@
 //!   fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!   alu-sweep utilization workload-stats phase-analysis summary all
 //!   metrics  (cycle-level metrics JSON + utilization-over-time SVGs)
+//!   faults   (seeded fault-injection campaign; replay with DCG_FAULT_SEED)
 //!   config   (print the Table-1 machine configuration)
 //! ```
 //!
@@ -19,12 +20,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dcg_experiments::{
-    alu_sweep, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, phase_analysis,
-    suite_metrics_json, summary, utilization, workload_stats, write_svg, write_utilization_svg,
-    ExperimentConfig, FigureTable, Suite,
+    alu_sweep, fault_campaign_json, fault_seed_from_env, fig10, fig11, fig12, fig13, fig14, fig15,
+    fig16, fig17, phase_analysis, suite_metrics_json, summary, utilization, workload_stats,
+    write_svg, write_utilization_svg, ExperimentConfig, FaultCampaign, FigureTable, Suite,
+    FAULT_SEED_ENV,
 };
 
-const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|metrics|workload-stats|phase-analysis|summary|config|all>...";
+const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|metrics|faults|workload-stats|phase-analysis|summary|config|all>...";
+
+/// Faults injected by `repro faults` (one full round over every
+/// injection point per 9, so 32 covers each point at least three times).
+const CAMPAIGN_FAULTS: u32 = 32;
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -151,6 +157,41 @@ fn main() -> ExitCode {
 
     let mut failures = 0;
     for w in &wanted {
+        if w == "faults" {
+            // Not a figure table either: run the seeded fault-injection
+            // campaign and write its classification document.
+            let seed = fault_seed_from_env();
+            eprintln!(
+                "running fault campaign: {CAMPAIGN_FAULTS} faults, seed {seed:#x} \
+                 (replay with {FAULT_SEED_ENV}={seed})"
+            );
+            let campaign = FaultCampaign::run(seed, CAMPAIGN_FAULTS);
+            let path = out_dir.join("fault-campaign.json");
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&path, format!("{}\n", fault_campaign_json(&campaign))) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+            for o in &campaign.outcomes {
+                println!(
+                    "fault {:>3}  {:<20} {:<10} {}",
+                    o.spec.id,
+                    o.spec.point.label(),
+                    o.class.label(),
+                    o.detail
+                );
+            }
+            if !campaign.all_classified() {
+                eprintln!("fault campaign: undetected faults — safety net failed");
+                failures += 1;
+            }
+            continue;
+        }
         if w == "metrics" {
             // Not a figure table: write the cycle-level metrics document
             // and one utilization-over-time SVG per benchmark.

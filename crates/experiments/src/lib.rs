@@ -22,6 +22,7 @@
 #![deny(missing_debug_implementations)]
 
 mod alu_sweep;
+mod faults;
 mod figures;
 mod metrics_json;
 mod phases;
@@ -33,6 +34,10 @@ mod utilization;
 mod workload_stats;
 
 pub use alu_sweep::{alu_sweep, alu_sweep_with, ALU_COUNTS};
+pub use faults::{
+    fault_campaign_json, fault_seed_from_env, FaultCampaign, FaultClass, FaultOutcome,
+    FAULT_SEED_ENV,
+};
 pub use figures::{fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
 pub use metrics_json::{metrics_json, suite_metrics_json};
 pub use phases::{phase_analysis, PhaseSeries};

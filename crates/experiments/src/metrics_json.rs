@@ -9,8 +9,8 @@
 //! block of the suite document, clearly outside the equivalence surface.
 
 use dcg_core::{
-    fu_class_label, CacheHealth, ComponentMetrics, GateDisagreement, Histogram, MetricsReport,
-    WindowSample,
+    fu_class_label, CacheHealth, ComponentMetrics, GateDisagreement, Hazard, HazardClass,
+    Histogram, MetricsReport, SafetyReport, WindowSample,
 };
 use dcg_isa::FuClass;
 use dcg_testkit::json::Json;
@@ -113,6 +113,40 @@ pub fn metrics_json(report: &MetricsReport) -> Json {
     ])
 }
 
+fn hazard_json(h: &Hazard) -> Json {
+    Json::obj([
+        ("cycle", Json::u64(h.cycle)),
+        ("class", Json::str(h.class.label())),
+        ("claimed_powered", Json::u64(u64::from(h.claimed_powered))),
+        ("actual_used", Json::u64(u64::from(h.actual_used))),
+    ])
+}
+
+/// Encode one [`SafetyReport`] as an integer-only JSON object — the
+/// `safety` block of the suite document (DESIGN.md §11). Zero-fault runs
+/// encode all-zero counters, so the block sits inside the byte-identity
+/// surface rather than outside it.
+fn safety_json(report: &SafetyReport) -> Json {
+    let per_class = |counts: &[u64; HazardClass::COUNT]| {
+        Json::obj(
+            HazardClass::ALL
+                .iter()
+                .map(|c| (c.label(), Json::u64(counts[c.index()])))
+                .collect::<Vec<_>>(),
+        )
+    };
+    Json::obj([
+        ("backoff_cycles", Json::u64(report.backoff_cycles)),
+        ("hazards_detected", per_class(&report.detected)),
+        ("failed_open_cycles", per_class(&report.failed_open_cycles)),
+        (
+            "hazards",
+            Json::arr(report.hazards.iter().map(hazard_json).collect()),
+        ),
+        ("hazards_dropped", Json::u64(report.hazards_dropped)),
+    ])
+}
+
 /// Derived (floating-point) per-component ratios for human consumption;
 /// kept outside [`metrics_json`] so the equivalence surface stays
 /// integer-only.
@@ -156,6 +190,7 @@ pub fn suite_metrics_json(suite: &Suite) -> Json {
                         Json::obj([
                             ("name", Json::str(r.profile.name)),
                             ("metrics", metrics_json(&r.metrics)),
+                            ("safety", safety_json(&r.dcg.safety)),
                             ("derived", derived_json(&r.metrics)),
                         ])
                     })
@@ -182,6 +217,7 @@ pub fn suite_metrics_json(suite: &Suite) -> Json {
             Json::obj([
                 ("store_failures", Json::u64(health.store_failures)),
                 ("evict_failures", Json::u64(health.evict_failures)),
+                ("replay_failures", Json::u64(health.replay_failures)),
             ]),
         ),
     ])
@@ -220,6 +256,15 @@ mod tests {
         let doc = suite_metrics_json(&suite).to_string();
         assert!(doc.contains("\"benchmarks\":"));
         assert!(doc.contains("\"cache_health\":"));
+        assert!(doc.contains("\"replay_failures\":"));
         assert!(doc.contains("\"gating_efficiency\":"));
+        assert!(
+            doc.contains("\"safety\":{\"backoff_cycles\":256,"),
+            "every benchmark must carry a safety block"
+        );
+        assert!(
+            !suite.runs.iter().any(|r| r.dcg.safety.total_detected() > 0),
+            "a fault-free suite must detect no hazards"
+        );
     }
 }

@@ -5,8 +5,8 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dcg_core::{
-    run_active, run_passive_with_sinks, ActivitySink, Dcg, MetricsReport, MetricsSink, NoGating,
-    Plb, PlbVariant, PolicyOutcome, RunLength, TraceCache,
+    run_active, run_passive_with_sinks, ActivitySink, Dcg, DcgError, MetricsReport, MetricsSink,
+    NoGating, PassiveRun, Plb, PlbVariant, PolicyOutcome, RunLength, TraceCache,
 };
 use dcg_power::{Component, PowerReport};
 use dcg_sim::{LatchGroups, Processor, SimConfig, SimStats};
@@ -273,14 +273,15 @@ impl Suite {
         }
     }
 
-    /// Run one benchmark under all requested schemes.
-    fn run_one(
+    /// The shared passive pass (baseline + DCG + metrics sink), cached or
+    /// live. Policies and sinks are built inside, so a failed cached
+    /// replay can be retried from scratch — the failed drive already fed
+    /// the old instances a partial stream.
+    fn passive_pass(
         cfg: &ExperimentConfig,
         profile: BenchmarkProfile,
-        with_plb: bool,
         cache: Option<&TraceCache>,
-    ) -> BenchmarkRun {
-        let started = std::time::Instant::now();
+    ) -> Result<(PassiveRun, MetricsReport), DcgError> {
         let groups = LatchGroups::new(&cfg.sim.depth);
         let mut baseline = NoGating::new(&cfg.sim, &groups);
         let mut dcg = Dcg::new(&cfg.sim, &groups);
@@ -290,20 +291,46 @@ impl Suite {
         let mut dcg_probe = Dcg::new(&cfg.sim, &groups);
         let mut metrics_sink = MetricsSink::new(&mut dcg_probe, &cfg.sim, &groups);
         let policies: &mut [&mut dyn dcg_core::GatingPolicy] = &mut [&mut baseline, &mut dcg];
-        let mut run = {
+        let run = {
             let extra: &mut [&mut dyn ActivitySink] = &mut [&mut metrics_sink];
             match cache {
                 Some(c) => c.run_passive_cached_with(
                     &cfg.sim, profile, cfg.seed, cfg.length, policies, extra,
-                ),
+                )?,
                 None => {
                     let mut cpu =
                         Processor::new(cfg.sim.clone(), SyntheticWorkload::new(profile, cfg.seed));
-                    run_passive_with_sinks(&cfg.sim, &mut cpu, cfg.length, policies, extra)
+                    run_passive_with_sinks(&cfg.sim, &mut cpu, cfg.length, policies, extra)?
                 }
             }
         };
-        let metrics = metrics_sink.into_report();
+        Ok((run, metrics_sink.into_report()))
+    }
+
+    /// Run one benchmark under all requested schemes.
+    fn run_one(
+        cfg: &ExperimentConfig,
+        profile: BenchmarkProfile,
+        with_plb: bool,
+        cache: Option<&TraceCache>,
+    ) -> BenchmarkRun {
+        let started = std::time::Instant::now();
+        let groups = LatchGroups::new(&cfg.sim.depth);
+        let (mut run, metrics) = match Self::passive_pass(cfg, profile, cache) {
+            Ok(out) => out,
+            Err(e) => {
+                // Fail open: the cached replay died mid-drive (the cache
+                // has evicted the entry and counted the failure). Rebuild
+                // everything and simulate live — correct results, just
+                // without the replay speedup.
+                eprintln!(
+                    "warning: {}: cached replay failed ({e}); re-simulating live",
+                    profile.name
+                );
+                Self::passive_pass(cfg, profile, None)
+                    .expect("a live simulation source cannot fail")
+            }
+        };
         let dcg_out = run.outcomes.remove(1);
         let base_out = run.outcomes.remove(0);
 

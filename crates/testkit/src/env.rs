@@ -1,0 +1,41 @@
+//! Shared environment-variable parsing for the testkit's replayable
+//! knobs (`DCG_PROPTEST_SEED`, `DCG_PROPTEST_CASES`, `DCG_FAULT_SEED`).
+
+/// Read `name` as a `u64`, accepting decimal or `0x`-prefixed hex.
+/// Returns `None` when unset.
+///
+/// # Panics
+///
+/// Panics if the variable is set but malformed — a silently ignored
+/// replay seed would "pass" a reproduction attempt without reproducing
+/// anything.
+#[must_use]
+pub fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw:?} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_is_none_and_formats_parse() {
+        assert_eq!(env_u64("DCG_TESTKIT_ENV_U64_UNSET"), None);
+        // Set/remove in one test to avoid env races between tests.
+        std::env::set_var("DCG_TESTKIT_ENV_U64_T", " 42 ");
+        assert_eq!(env_u64("DCG_TESTKIT_ENV_U64_T"), Some(42));
+        std::env::set_var("DCG_TESTKIT_ENV_U64_T", "0xff");
+        assert_eq!(env_u64("DCG_TESTKIT_ENV_U64_T"), Some(255));
+        std::env::remove_var("DCG_TESTKIT_ENV_U64_T");
+    }
+}

@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod env;
 pub mod json;
 pub mod prop;
 pub mod rng;
 
 pub use bench::Harness;
+pub use env::env_u64;
 pub use prop::{check, Gen};
 pub use rng::SmallRng;

@@ -38,6 +38,8 @@
 
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
+
+use crate::env::env_u64;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
@@ -311,20 +313,6 @@ impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 1
 // ---------------------------------------------------------------------------
 // Runner
 // ---------------------------------------------------------------------------
-
-fn env_u64(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
-    let raw = raw.trim();
-    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16)
-    } else {
-        raw.parse()
-    };
-    match parsed {
-        Ok(v) => Some(v),
-        Err(_) => panic!("{name}={raw:?} is not a u64 (decimal or 0x-hex)"),
-    }
-}
 
 /// The configured case count: `DCG_PROPTEST_CASES`, floored at 1, default
 /// [`DEFAULT_CASES`].

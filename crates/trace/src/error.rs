@@ -22,6 +22,9 @@ pub enum TraceError {
     /// An activity record failed structural validation (out-of-range
     /// field, unknown flag bit, oversized count).
     BadActivity(&'static str),
+    /// The trace is well-formed but holds no instructions (a replay
+    /// stream needs at least one).
+    Empty,
 }
 
 impl fmt::Display for TraceError {
@@ -33,6 +36,7 @@ impl fmt::Display for TraceError {
             TraceError::Corrupt(e) => write!(f, "corrupt trace record: {e}"),
             TraceError::BadName => f.write_str("invalid benchmark name in header"),
             TraceError::BadActivity(why) => write!(f, "corrupt activity record: {why}"),
+            TraceError::Empty => f.write_str("trace holds no instructions"),
         }
     }
 }
@@ -84,5 +88,9 @@ mod tests {
         let act = TraceError::BadActivity("grant class out of range");
         assert!(act.to_string().contains("grant class"));
         assert!(act.source().is_none());
+
+        let empty = TraceError::Empty;
+        assert!(empty.to_string().contains("no instructions"));
+        assert!(empty.source().is_none());
     }
 }

@@ -97,10 +97,7 @@ impl<R: Read> TraceReader<R> {
         let name = self.header.name.clone();
         let insts = self.read_all()?;
         if insts.is_empty() {
-            return Err(TraceError::Io(std::io::Error::new(
-                ErrorKind::UnexpectedEof,
-                "trace holds no instructions",
-            )));
+            return Err(TraceError::Empty);
         }
         Ok(ReplayStream::new(name, insts))
     }
@@ -205,6 +202,9 @@ mod tests {
         let mut r = TraceReader::new(&buf[..]).expect("header");
         assert!(r.read_inst().expect("clean eof").is_none());
         let r = TraceReader::new(&buf[..]).expect("header");
-        assert!(r.into_replay().is_err(), "replay needs >= 1 instruction");
+        assert!(
+            matches!(r.into_replay(), Err(TraceError::Empty)),
+            "an empty trace must surface as the named Empty variant"
+        );
     }
 }

@@ -79,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &mut [&mut baseline, &mut dcg];
         let t0 = Instant::now();
         let run = match cache {
-            Some(c) => c.run_passive_cached(&cfg, profile, seed, length, policies),
+            Some(c) => c
+                .run_passive_cached(&cfg, profile, seed, length, policies)
+                .expect("a freshly stored entry replays cleanly"),
             None => run_passive(
                 &cfg,
                 SyntheticWorkload::new(profile, seed),

@@ -67,13 +67,15 @@ fn passive_cached(cache: &TraceCache, cfg: &SimConfig, name: &str) -> PassiveRun
     let mut baseline = NoGating::new(cfg, &groups);
     let mut dcg = Dcg::new(cfg, &groups);
     let profile = Spec2000::by_name(name).unwrap();
-    cache.run_passive_cached(
-        cfg,
-        profile,
-        SEED,
-        RunLength::quick(),
-        &mut [&mut baseline, &mut dcg],
-    )
+    cache
+        .run_passive_cached(
+            cfg,
+            profile,
+            SEED,
+            RunLength::quick(),
+            &mut [&mut baseline, &mut dcg],
+        )
+        .expect("cached run over an intact entry")
 }
 
 /// Live, record (cold cache) and replay (warm cache) must agree to the
@@ -128,7 +130,8 @@ fn metrics_doc_live(cfg: &SimConfig, name: &str) -> String {
         RunLength::quick(),
         &mut [&mut baseline, &mut dcg],
         &mut [&mut metrics],
-    );
+    )
+    .expect("a live simulation source cannot fail");
     metrics_json(&metrics.into_report()).to_string()
 }
 
@@ -139,14 +142,16 @@ fn metrics_doc_cached(cache: &TraceCache, cfg: &SimConfig, name: &str) -> String
     let mut probe = Dcg::new(cfg, &groups);
     let mut metrics = MetricsSink::new(&mut probe, cfg, &groups);
     let profile = Spec2000::by_name(name).unwrap();
-    cache.run_passive_cached_with(
-        cfg,
-        profile,
-        SEED,
-        RunLength::quick(),
-        &mut [&mut baseline, &mut dcg],
-        &mut [&mut metrics],
-    );
+    cache
+        .run_passive_cached_with(
+            cfg,
+            profile,
+            SEED,
+            RunLength::quick(),
+            &mut [&mut baseline, &mut dcg],
+            &mut [&mut metrics],
+        )
+        .expect("cached run over an intact entry");
     metrics_json(&metrics.into_report()).to_string()
 }
 
@@ -198,7 +203,8 @@ fn oracle_replays_bit_identically() {
     let mut replay = cache
         .replay_source(&cfg, "gzip", SEED, RunLength::quick())
         .expect("cache entry");
-    let replayed = run_oracle_source(&cfg, &mut replay, RunLength::quick());
+    let replayed = run_oracle_source(&cfg, &mut replay, RunLength::quick())
+        .expect("replaying an intact entry through the oracle cannot fail");
 
     assert_eq!(report_bits(&live.report), report_bits(&replayed.report));
 }
