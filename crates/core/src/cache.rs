@@ -29,7 +29,7 @@ use dcg_sim::{LatchGroups, Processor, SimConfig};
 use dcg_trace::{
     ActivityHeader, ActivityTraceReader, ActivityTraceWriter, ACTIVITY_SCHEMA, ACTIVITY_VERSION,
 };
-use dcg_workloads::{BenchmarkProfile, SyntheticWorkload};
+use dcg_workloads::{BenchmarkProfile, InstStream, SyntheticWorkload};
 
 use crate::error::DcgError;
 use crate::policy::GatingPolicy;
@@ -316,7 +316,50 @@ impl TraceCache {
         policies: &mut [&mut dyn GatingPolicy],
         extra: &mut [&mut dyn ActivitySink],
     ) -> Result<PassiveRun, DcgError> {
-        if let Some(mut replay) = self.replay_source(config, profile.name, seed, length) {
+        self.run_passive_cached_stream(
+            config,
+            profile.name,
+            seed,
+            length,
+            || SyntheticWorkload::new(profile, seed),
+            policies,
+            extra,
+        )
+    }
+
+    /// The general form of [`TraceCache::run_passive_cached_with`]: cache
+    /// a run of *any* deterministic [`InstStream`], keyed by `name` and
+    /// `seed`. `make_stream` is only invoked on a cache miss (building a
+    /// stream may be expensive — e.g. a kernel program's emulator).
+    ///
+    /// Callers must keep `(name, seed)` → stream bijective: the cache
+    /// cannot tell two different streams apart if they share a name and
+    /// seed. Kernel names are distinct from every SPEC profile name, so
+    /// the two workload families never collide.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceCache::run_passive_cached`].
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::run_passive`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_passive_cached_stream<S, F>(
+        &self,
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+        make_stream: F,
+        policies: &mut [&mut dyn GatingPolicy],
+        extra: &mut [&mut dyn ActivitySink],
+    ) -> Result<PassiveRun, DcgError>
+    where
+        S: InstStream,
+        F: FnOnce() -> S,
+    {
+        if let Some(mut replay) = self.replay_source(config, name, seed, length) {
             match run_passive_with_sinks(config, &mut replay, length, policies, extra) {
                 Ok(run) => return Ok(run),
                 Err(e) => {
@@ -325,8 +368,7 @@ impl TraceCache {
                     // live, then surface the error — the caller's
                     // policies have consumed a partial stream and must be
                     // rebuilt before retrying.
-                    let path = self
-                        .entry_path(profile.name, Self::key(config, profile.name, seed, length));
+                    let path = self.entry_path(name, Self::key(config, name, seed, length));
                     note_replay_failure(&path, &e);
                     if path.exists() {
                         if let Err(io) = fs::remove_file(&path) {
@@ -338,17 +380,17 @@ impl TraceCache {
             }
         }
 
-        let mut cpu = Processor::new(config.clone(), SyntheticWorkload::new(profile, seed));
+        let mut cpu = Processor::new(config.clone(), make_stream());
         let groups = cpu.latch_groups().len();
         let header = ActivityHeader::new(
-            profile.name,
+            name,
             config.digest(),
             seed,
             length.warmup_insts,
             length.measure_insts,
             groups,
         )
-        .expect("activity header for a valid profile");
+        .expect("activity header for a valid workload name");
         let writer = ActivityTraceWriter::new(Vec::new(), &header).expect("in-memory header write");
         let mut recorder = RecorderSink::new(writer);
         let run = {
@@ -361,11 +403,7 @@ impl TraceCache {
                 .expect("a live simulation source cannot fail")
         };
         if let Ok(bytes) = recorder.finish() {
-            self.store(
-                profile.name,
-                Self::key(config, profile.name, seed, length),
-                &bytes,
-            );
+            self.store(name, Self::key(config, name, seed, length), &bytes);
         }
         Ok(run)
     }

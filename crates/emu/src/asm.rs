@@ -1,0 +1,734 @@
+//! Two-pass assembler and canonical disassembler.
+//!
+//! ## Syntax
+//!
+//! One instruction per line. `;` and `#` start comments. A label is an
+//! identifier followed by `:`, optionally with an instruction on the same
+//! line. Registers are `r0`..`r31` (integer) and `f0`..`f31` (FP); `r31`
+//! and `f31` read as zero and discard writes. Immediates are decimal or
+//! `0x` hex, with an optional leading `-`.
+//!
+//! | Form | Meaning |
+//! |------|---------|
+//! | `add rd, ra, rb` / `add rd, ra, imm` | integer ALU ops (`add sub and or xor sll srl sra slt sltu mul div rem`); operand B may be an immediate |
+//! | `li rd, imm` | sugar for `add rd, r31, imm` |
+//! | `mov rd, ra` | sugar for `add rd, ra, 0` |
+//! | `fadd fd, fa, fb` | FP ops (`fadd fsub fmul fdiv`) |
+//! | `itof fd, ra` | convert signed integer to double |
+//! | `ldb/ldh/ldw/ldq rd, disp(ra)` | load 1/2/4/8 bytes, zero-extended; `rd` may be an `f` register |
+//! | `stb/sth/stw/stq rv, disp(ra)` | store the low 1/2/4/8 bytes of `rv` |
+//! | `beq/bne/blt/bge/bltu/bgeu ra, rb, label` | conditional branches (`blt/bge` signed, `bltu/bgeu` unsigned) |
+//! | `jmp label` | unconditional jump |
+//! | `call label` | jump and link `pc + 4` into `r30` |
+//! | `ret` | jump to `r30` |
+//! | `halt` | stop the program (self-loop jump) |
+//!
+//! The assembler is two-pass: pass one records label PCs, pass two
+//! resolves operands. Every failure is a named [`AsmError`] carrying the
+//! 1-based source line — malformed input never panics.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use dcg_isa::{ArchReg, RegFileKind};
+
+use crate::program::{link_reg, AsmInst, Funct, Program, TEXT_BASE};
+
+/// Why a source file failed to assemble. Every variant names the 1-based
+/// source line it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// The mnemonic is not in the instruction set.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        mnemonic: String,
+    },
+    /// A register token is malformed or out of range.
+    BadRegister {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An operand list has the wrong shape for the mnemonic.
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A branch names a label that is never defined.
+    UnknownLabel {
+        /// 1-based source line.
+        line: usize,
+        /// The dangling label.
+        label: String,
+    },
+    /// The same label is defined twice.
+    DuplicateLabel {
+        /// 1-based source line of the second definition.
+        line: usize,
+        /// The re-defined label.
+        label: String,
+    },
+    /// The source contains no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, mnemonic } => {
+                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
+            }
+            AsmError::BadRegister { line, token } => {
+                write!(f, "line {line}: bad register `{token}`")
+            }
+            AsmError::BadOperand { line, detail } => {
+                write!(f, "line {line}: {detail}")
+            }
+            AsmError::UnknownLabel { line, label } => {
+                write!(f, "line {line}: unknown label `{label}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            AsmError::EmptyProgram => f.write_str("source contains no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// One source line after comment stripping and label extraction.
+struct RawLine<'a> {
+    /// 1-based line number in the original source.
+    line: usize,
+    /// The instruction text (non-empty, trimmed).
+    text: &'a str,
+}
+
+fn strip_comment(s: &str) -> &str {
+    match s.find([';', '#']) {
+        Some(k) => &s[..k],
+        None => s,
+    }
+}
+
+fn is_label_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Pass one: strip comments, collect labels, keep instruction lines.
+fn scan<'a>(source: &'a str) -> Result<(Vec<RawLine<'a>>, HashMap<&'a str, u64>), AsmError> {
+    let mut lines = Vec::new();
+    let mut labels: HashMap<&str, u64> = HashMap::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        // Peel any number of leading `label:` markers off the line.
+        while let Some(colon) = text.find(':') {
+            let (head, rest) = text.split_at(colon);
+            let head = head.trim();
+            if !is_label_ident(head) {
+                break;
+            }
+            let pc = TEXT_BASE + 4 * lines.len() as u64;
+            if labels.insert(head, pc).is_some() {
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: head.to_string(),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if !text.is_empty() {
+            lines.push(RawLine { line, text });
+        }
+    }
+    Ok((lines, labels))
+}
+
+fn parse_reg(line: usize, token: &str) -> Result<ArchReg, AsmError> {
+    let err = || AsmError::BadRegister {
+        line,
+        token: token.to_string(),
+    };
+    if token.len() < 2 || !token.is_char_boundary(1) {
+        return Err(err());
+    }
+    let (file, num) = token.split_at(1);
+    let n: u8 = num.parse().map_err(|_| err())?;
+    if n >= 32 {
+        return Err(err());
+    }
+    match file {
+        "r" => Ok(ArchReg::int(n)),
+        "f" => Ok(ArchReg::fp(n)),
+        _ => Err(err()),
+    }
+}
+
+fn parse_reg_of(line: usize, token: &str, want: RegFileKind) -> Result<ArchReg, AsmError> {
+    let r = parse_reg(line, token)?;
+    if r.file() != want {
+        return Err(AsmError::BadOperand {
+            line,
+            detail: format!("register {r} must be in the {want} file"),
+        });
+    }
+    Ok(r)
+}
+
+fn parse_imm(line: usize, token: &str) -> Result<i64, AsmError> {
+    let err = || AsmError::BadOperand {
+        line,
+        detail: format!("bad immediate `{token}`"),
+    };
+    let (sign, body) = match token.strip_prefix('-') {
+        Some(rest) => ("-", rest),
+        None => ("", token),
+    };
+    if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        // from_str_radix takes the sign inline, so i64::MIN parses too.
+        i64::from_str_radix(&format!("{sign}{hex}"), 16).map_err(|_| err())
+    } else {
+        token.parse().map_err(|_| err())
+    }
+}
+
+/// `disp(ra)` memory operand.
+fn parse_mem_operand(line: usize, token: &str) -> Result<(i64, ArchReg), AsmError> {
+    let open = token.find('(').ok_or_else(|| AsmError::BadOperand {
+        line,
+        detail: format!("expected `disp(reg)` memory operand, got `{token}`"),
+    })?;
+    let close = token.ends_with(')');
+    if !close {
+        return Err(AsmError::BadOperand {
+            line,
+            detail: format!("unclosed memory operand `{token}`"),
+        });
+    }
+    let disp_txt = token[..open].trim();
+    let disp = if disp_txt.is_empty() {
+        0
+    } else {
+        parse_imm(line, disp_txt)?
+    };
+    let base = parse_reg_of(
+        line,
+        token[open + 1..token.len() - 1].trim(),
+        RegFileKind::Int,
+    )?;
+    Ok((disp, base))
+}
+
+fn operands(text: &str) -> (&str, Vec<&str>) {
+    let text = text.trim();
+    match text.find(char::is_whitespace) {
+        None => (text, Vec::new()),
+        Some(k) => {
+            let (m, rest) = text.split_at(k);
+            let ops = rest
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            (m, ops)
+        }
+    }
+}
+
+fn want_ops(line: usize, mnemonic: &str, ops: &[&str], n: usize) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::BadOperand {
+            line,
+            detail: format!("`{mnemonic}` takes {n} operand(s), got {}", ops.len()),
+        })
+    }
+}
+
+fn int_alu_funct(mnemonic: &str) -> Option<Funct> {
+    Some(match mnemonic {
+        "add" => Funct::Add,
+        "sub" => Funct::Sub,
+        "and" => Funct::And,
+        "or" => Funct::Or,
+        "xor" => Funct::Xor,
+        "sll" => Funct::Sll,
+        "srl" => Funct::Srl,
+        "sra" => Funct::Sra,
+        "slt" => Funct::Slt,
+        "sltu" => Funct::Sltu,
+        "mul" => Funct::Mul,
+        "div" => Funct::Div,
+        "rem" => Funct::Rem,
+        _ => return None,
+    })
+}
+
+fn cond_branch_funct(mnemonic: &str) -> Option<Funct> {
+    Some(match mnemonic {
+        "beq" => Funct::Beq,
+        "bne" => Funct::Bne,
+        "blt" => Funct::Blt,
+        "bge" => Funct::Bge,
+        "bltu" => Funct::Bltu,
+        "bgeu" => Funct::Bgeu,
+        _ => return None,
+    })
+}
+
+fn mem_size(mnemonic: &str) -> Option<(bool, u8)> {
+    Some(match mnemonic {
+        "ldb" => (true, 1),
+        "ldh" => (true, 2),
+        "ldw" => (true, 4),
+        "ldq" => (true, 8),
+        "stb" => (false, 1),
+        "sth" => (false, 2),
+        "stw" => (false, 4),
+        "stq" => (false, 8),
+        _ => return None,
+    })
+}
+
+/// Pass two: one raw line to one instruction.
+fn parse_inst(raw: &RawLine<'_>, labels: &HashMap<&str, u64>) -> Result<AsmInst, AsmError> {
+    let line = raw.line;
+    let (mnemonic, ops) = operands(raw.text);
+    let resolve_label = |token: &str| -> Result<i64, AsmError> {
+        labels
+            .get(token)
+            .map(|pc| *pc as i64)
+            .ok_or_else(|| AsmError::UnknownLabel {
+                line,
+                label: token.to_string(),
+            })
+    };
+    let nothing = AsmInst {
+        funct: Funct::Halt,
+        dest: None,
+        srcs: [None, None],
+        uses_imm: false,
+        imm: 0,
+        size: 1,
+    };
+
+    if let Some(funct) = int_alu_funct(mnemonic) {
+        want_ops(line, mnemonic, &ops, 3)?;
+        let dest = parse_reg_of(line, ops[0], RegFileKind::Int)?;
+        let a = parse_reg_of(line, ops[1], RegFileKind::Int)?;
+        // Operand B: register if it parses as one, else an immediate.
+        let (b, uses_imm, imm) = if parse_reg(line, ops[2]).is_ok() {
+            (
+                Some(parse_reg_of(line, ops[2], RegFileKind::Int)?),
+                false,
+                0,
+            )
+        } else {
+            (None, true, parse_imm(line, ops[2])?)
+        };
+        return Ok(AsmInst {
+            funct,
+            dest: Some(dest),
+            srcs: [Some(a), b],
+            uses_imm,
+            imm,
+            ..nothing
+        });
+    }
+    if let Some(funct) = cond_branch_funct(mnemonic) {
+        want_ops(line, mnemonic, &ops, 3)?;
+        let a = parse_reg_of(line, ops[0], RegFileKind::Int)?;
+        let b = parse_reg_of(line, ops[1], RegFileKind::Int)?;
+        return Ok(AsmInst {
+            funct,
+            srcs: [Some(a), Some(b)],
+            imm: resolve_label(ops[2])?,
+            ..nothing
+        });
+    }
+    if let Some((is_load, size)) = mem_size(mnemonic) {
+        want_ops(line, mnemonic, &ops, 2)?;
+        let (disp, base) = parse_mem_operand(line, ops[1])?;
+        return if is_load {
+            Ok(AsmInst {
+                funct: Funct::Load,
+                dest: Some(parse_reg(line, ops[0])?),
+                srcs: [Some(base), None],
+                imm: disp,
+                size,
+                ..nothing
+            })
+        } else {
+            Ok(AsmInst {
+                funct: Funct::Store,
+                srcs: [Some(base), Some(parse_reg(line, ops[0])?)],
+                imm: disp,
+                size,
+                ..nothing
+            })
+        };
+    }
+    match mnemonic {
+        "li" => {
+            want_ops(line, mnemonic, &ops, 2)?;
+            Ok(AsmInst {
+                funct: Funct::Add,
+                dest: Some(parse_reg_of(line, ops[0], RegFileKind::Int)?),
+                srcs: [Some(ArchReg::INT_ZERO), None],
+                uses_imm: true,
+                imm: parse_imm(line, ops[1])?,
+                ..nothing
+            })
+        }
+        "mov" => {
+            want_ops(line, mnemonic, &ops, 2)?;
+            Ok(AsmInst {
+                funct: Funct::Add,
+                dest: Some(parse_reg_of(line, ops[0], RegFileKind::Int)?),
+                srcs: [Some(parse_reg_of(line, ops[1], RegFileKind::Int)?), None],
+                uses_imm: true,
+                imm: 0,
+                ..nothing
+            })
+        }
+        "fadd" | "fsub" | "fmul" | "fdiv" => {
+            want_ops(line, mnemonic, &ops, 3)?;
+            let funct = match mnemonic {
+                "fadd" => Funct::FAdd,
+                "fsub" => Funct::FSub,
+                "fmul" => Funct::FMul,
+                _ => Funct::FDiv,
+            };
+            Ok(AsmInst {
+                funct,
+                dest: Some(parse_reg_of(line, ops[0], RegFileKind::Fp)?),
+                srcs: [
+                    Some(parse_reg_of(line, ops[1], RegFileKind::Fp)?),
+                    Some(parse_reg_of(line, ops[2], RegFileKind::Fp)?),
+                ],
+                ..nothing
+            })
+        }
+        "itof" => {
+            want_ops(line, mnemonic, &ops, 2)?;
+            Ok(AsmInst {
+                funct: Funct::Itof,
+                dest: Some(parse_reg_of(line, ops[0], RegFileKind::Fp)?),
+                srcs: [Some(parse_reg_of(line, ops[1], RegFileKind::Int)?), None],
+                ..nothing
+            })
+        }
+        "jmp" | "call" => {
+            want_ops(line, mnemonic, &ops, 1)?;
+            Ok(AsmInst {
+                funct: if mnemonic == "jmp" {
+                    Funct::Jmp
+                } else {
+                    Funct::Call
+                },
+                imm: resolve_label(ops[0])?,
+                ..nothing
+            })
+        }
+        "ret" => {
+            want_ops(line, mnemonic, &ops, 0)?;
+            Ok(AsmInst {
+                funct: Funct::Ret,
+                srcs: [Some(link_reg()), None],
+                ..nothing
+            })
+        }
+        "halt" => {
+            want_ops(line, mnemonic, &ops, 0)?;
+            Ok(nothing)
+        }
+        _ => Err(AsmError::UnknownMnemonic {
+            line,
+            mnemonic: mnemonic.to_string(),
+        }),
+    }
+}
+
+/// Assemble source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`]; malformed input never panics.
+pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmError> {
+    let (lines, labels) = scan(source)?;
+    if lines.is_empty() {
+        return Err(AsmError::EmptyProgram);
+    }
+    let mut insts = Vec::with_capacity(lines.len());
+    for raw in &lines {
+        let inst = parse_inst(raw, &labels)?;
+        debug_assert!(inst.validate().is_ok(), "assembler produced invalid inst");
+        insts.push(inst);
+    }
+    Ok(Program::new(name, insts))
+}
+
+/// Why a program could not be rendered back to source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmError {
+    /// Index of the instruction with the out-of-range branch target.
+    pub index: usize,
+    /// The unmappable target PC.
+    pub target: u64,
+}
+
+impl fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instruction {}: branch target {:#x} is outside the text segment",
+            self.index, self.target
+        )
+    }
+}
+
+impl Error for DisasmError {}
+
+fn mem_mnemonic(is_load: bool, size: u8) -> &'static str {
+    match (is_load, size) {
+        (true, 1) => "ldb",
+        (true, 2) => "ldh",
+        (true, 4) => "ldw",
+        (true, 8) => "ldq",
+        (false, 1) => "stb",
+        (false, 2) => "sth",
+        (false, 4) => "stw",
+        _ => "stq",
+    }
+}
+
+/// Render a program back to canonical source text.
+///
+/// Branch targets become `L{index}` labels on their target instruction.
+/// `li`/`mov` sugar is re-applied, so
+/// `assemble(disassemble(p)) == p` for every valid program (the roundtrip
+/// property test pins this down).
+///
+/// # Errors
+///
+/// Returns [`DisasmError`] if a branch target does not land on an
+/// instruction of the program.
+pub fn disassemble(p: &Program) -> Result<String, DisasmError> {
+    // Which instruction indices need a label.
+    let mut needs_label = vec![false; p.len()];
+    for (k, inst) in p.insts().iter().enumerate() {
+        if matches!(
+            inst.funct,
+            Funct::Beq
+                | Funct::Bne
+                | Funct::Blt
+                | Funct::Bge
+                | Funct::Bltu
+                | Funct::Bgeu
+                | Funct::Jmp
+                | Funct::Call
+        ) {
+            let target = inst.imm as u64;
+            let idx = p
+                .index_of_pc(target)
+                .ok_or(DisasmError { index: k, target })?;
+            needs_label[idx] = true;
+        }
+    }
+    let mut out = String::new();
+    for (k, inst) in p.insts().iter().enumerate() {
+        if needs_label[k] {
+            let _ = writeln!(out, "L{k}:");
+        }
+        let text = match inst.funct {
+            Funct::Add if inst.uses_imm && inst.srcs[0] == Some(ArchReg::INT_ZERO) => {
+                format!("li {}, {}", inst.dest.expect("alu dest"), inst.imm)
+            }
+            Funct::Add if inst.uses_imm && inst.imm == 0 => {
+                format!(
+                    "mov {}, {}",
+                    inst.dest.expect("alu dest"),
+                    inst.srcs[0].expect("alu src")
+                )
+            }
+            Funct::Load | Funct::Store => {
+                let is_load = inst.funct == Funct::Load;
+                let value = if is_load {
+                    inst.dest.expect("load dest")
+                } else {
+                    inst.srcs[1].expect("store value")
+                };
+                format!(
+                    "{} {}, {}({})",
+                    mem_mnemonic(is_load, inst.size),
+                    value,
+                    inst.imm,
+                    inst.srcs[0].expect("mem base")
+                )
+            }
+            Funct::Beq | Funct::Bne | Funct::Blt | Funct::Bge | Funct::Bltu | Funct::Bgeu => {
+                let idx = p.index_of_pc(inst.imm as u64).expect("checked above");
+                format!(
+                    "{} {}, {}, L{idx}",
+                    inst.funct,
+                    inst.srcs[0].expect("branch src"),
+                    inst.srcs[1].expect("branch src")
+                )
+            }
+            Funct::Jmp | Funct::Call => {
+                let idx = p.index_of_pc(inst.imm as u64).expect("checked above");
+                format!("{} L{idx}", inst.funct)
+            }
+            Funct::Ret | Funct::Halt => inst.funct.to_string(),
+            _ => {
+                // Remaining int/fp register ops share one shape.
+                let dest = inst.dest.expect("alu dest");
+                let a = inst.srcs[0].expect("alu src");
+                if inst.uses_imm {
+                    format!("{} {}, {}, {}", inst.funct, dest, a, inst.imm)
+                } else if let Some(b) = inst.srcs[1] {
+                    format!("{} {}, {}, {}", inst.funct, dest, a, b)
+                } else {
+                    // itof
+                    format!("{} {}, {}", inst.funct, dest, a)
+                }
+            }
+        };
+        let _ = writeln!(out, "    {text}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_small_loop() {
+        let src = "\
+; sum 1..10 into r1
+    li r1, 0
+    li r2, 1
+    li r3, 11
+loop:
+    add r1, r1, r2
+    add r2, r2, 1
+    bne r2, r3, loop
+    halt
+";
+        let p = assemble("sum", src).expect("assembles");
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.insts()[5].funct, Funct::Bne);
+        // `loop` is instruction 3.
+        assert_eq!(p.insts()[5].imm, (TEXT_BASE + 4 * 3) as i64);
+        assert_eq!(p.insts()[6].funct, Funct::Halt);
+    }
+
+    #[test]
+    fn label_on_same_line_and_hex_imm() {
+        let src = "start: li r1, 0x10\n jmp start\n";
+        let p = assemble("t", src).expect("assembles");
+        assert_eq!(p.insts()[0].imm, 16);
+        assert_eq!(p.insts()[1].imm, TEXT_BASE as i64);
+    }
+
+    #[test]
+    fn immediate_extremes_roundtrip() {
+        let src = format!(
+            "li r1, {}\nli r2, {}\nli r3, -0x8000000000000000\nhalt\n",
+            i64::MIN,
+            i64::MAX
+        );
+        let p = assemble("t", &src).expect("assembles");
+        assert_eq!(p.insts()[0].imm, i64::MIN);
+        assert_eq!(p.insts()[1].imm, i64::MAX);
+        assert_eq!(p.insts()[2].imm, i64::MIN);
+        let text = disassemble(&p).expect("disassembles");
+        assert_eq!(assemble("t", &text).expect("reassembles"), p);
+    }
+
+    #[test]
+    fn named_errors_not_panics() {
+        type Check = fn(&AsmError) -> bool;
+        let cases: [(&str, Check); 6] = [
+            ("frob r1, r2, r3\nhalt\n", |e| {
+                matches!(e, AsmError::UnknownMnemonic { line: 1, .. })
+            }),
+            ("add r1, r99, r3\nhalt\n", |e| {
+                matches!(e, AsmError::BadRegister { line: 1, .. })
+            }),
+            ("add r1, x9, r3\nhalt\n", |e| {
+                matches!(e, AsmError::BadRegister { line: 1, .. })
+            }),
+            ("beq r1, r2, nowhere\nhalt\n", |e| {
+                matches!(e, AsmError::UnknownLabel { line: 1, .. })
+            }),
+            ("a:\nhalt\na: halt\n", |e| {
+                matches!(e, AsmError::DuplicateLabel { line: 3, .. })
+            }),
+            ("; only a comment\n", |e| {
+                matches!(e, AsmError::EmptyProgram)
+            }),
+        ];
+        for (src, check) in cases {
+            let err = assemble("bad", src).expect_err(src);
+            assert!(check(&err), "unexpected error for {src:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn operand_shape_errors() {
+        assert!(matches!(
+            assemble("t", "add r1, r2\nhalt\n"),
+            Err(AsmError::BadOperand { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("t", "ldw r1, r2\nhalt\n"),
+            Err(AsmError::BadOperand { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("t", "fadd f1, f2, r3\nhalt\n"),
+            Err(AsmError::BadOperand { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("t", "stq r1, 0(f2)\nhalt\n"),
+            Err(AsmError::BadOperand { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn disassemble_roundtrips_the_loop() {
+        let src = "\
+    li r1, 0
+    li r2, 1
+    li r3, 11
+loop:
+    add r1, r1, r2
+    add r2, r2, 1
+    bne r2, r3, loop
+    ldq r4, 8(r1)
+    stw r4, -4(r2)
+    itof f1, r1
+    fadd f2, f1, f1
+    halt
+";
+        let p = assemble("t", src).expect("assembles");
+        let text = disassemble(&p).expect("disassembles");
+        let p2 = assemble("t", &text).expect("reassembles");
+        assert_eq!(p, p2, "fixed point broken:\n{text}");
+    }
+}

@@ -8,6 +8,7 @@
 //!   alu-sweep utilization workload-stats phase-analysis summary all
 //!   metrics  (cycle-level metrics JSON + utilization-over-time SVGs)
 //!   faults   (seeded fault-injection campaign; replay with DCG_FAULT_SEED)
+//!   kernels  (real-program kernel suite: differential check + savings JSON)
 //!   config   (print the Table-1 machine configuration)
 //! ```
 //!
@@ -26,7 +27,7 @@ use dcg_experiments::{
     FAULT_SEED_ENV,
 };
 
-const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|metrics|faults|workload-stats|phase-analysis|summary|config|all>...";
+const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|metrics|faults|kernels|workload-stats|phase-analysis|summary|config|all>...";
 
 /// Faults injected by `repro faults` (one full round over every
 /// injection point per 9, so 32 covers each point at least three times).
@@ -97,6 +98,7 @@ fn main() -> ExitCode {
             "alu-sweep",
             "utilization",
             "metrics",
+            "kernels",
             "workload-stats",
             "phase-analysis",
             "summary",
@@ -189,6 +191,62 @@ fn main() -> ExitCode {
             if !campaign.all_classified() {
                 eprintln!("fault campaign: undetected faults — safety net failed");
                 failures += 1;
+            }
+            continue;
+        }
+        if w == "kernels" {
+            // Not a figure table: assemble the checked-in kernels, prove
+            // the pipeline retires exactly the emulator's committed
+            // stream, then measure gating savings on real programs.
+            let sim = &cfg.sim;
+            let cache = dcg_core::TraceCache::from_env();
+            eprintln!("running kernel suite: differential check + savings table...");
+            let mut diverged = false;
+            for k in dcg_workloads::Kernel::all() {
+                let program = k.assemble();
+                match dcg_experiments::differential_check(sim, &program, &program) {
+                    Ok(n) => eprintln!("  {:<12} differential ok over {n} instructions", k.name),
+                    Err(d) => {
+                        eprintln!("  {d}");
+                        diverged = true;
+                    }
+                }
+            }
+            if diverged {
+                eprintln!("kernel differential check FAILED");
+                failures += 1;
+                continue;
+            }
+            let runs = dcg_experiments::run_kernels(sim, cache.as_ref());
+            println!(
+                "{:<12} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12}",
+                "kernel", "cycles", "committed", "ipc", "dcg", "plb-ext", "oracle"
+            );
+            for r in &runs {
+                println!(
+                    "{:<12} {:>10} {:>10} {:>8.3} {:>11.1}% {:>11.1}% {:>11.1}%",
+                    r.name,
+                    r.stats.cycles,
+                    r.stats.committed,
+                    r.stats.ipc(),
+                    100.0 * r.dcg_saving(),
+                    100.0 * r.plb_ext_saving(),
+                    100.0 * r.oracle_saving(),
+                );
+            }
+            let path = out_dir.join("kernel-savings.json");
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(
+                &path,
+                format!("{}\n", dcg_experiments::kernel_savings_json(&runs)),
+            ) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    failures += 1;
+                }
             }
             continue;
         }

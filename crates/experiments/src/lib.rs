@@ -24,6 +24,7 @@
 mod alu_sweep;
 mod faults;
 mod figures;
+mod kernels;
 mod metrics_json;
 mod phases;
 mod suite;
@@ -39,6 +40,10 @@ pub use faults::{
     FAULT_SEED_ENV,
 };
 pub use figures::{fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
+pub use kernels::{
+    differential_check, kernel_run_length, kernel_savings_json, run_kernels, Divergence, KernelRun,
+    KERNEL_SEED,
+};
 pub use metrics_json::{metrics_json, suite_metrics_json};
 pub use phases::{phase_analysis, PhaseSeries};
 pub use suite::{BenchmarkRun, ExperimentConfig, Suite, SuiteFailure};

@@ -107,6 +107,8 @@ pub struct Processor<S> {
     issue_to_exec: u32,
     exec_to_wb: u32,
     renamed_this_cycle: u32,
+    retire_log_enabled: bool,
+    retire_log: Vec<Inst>,
 }
 
 impl<S: InstStream> Processor<S> {
@@ -170,6 +172,8 @@ impl<S: InstStream> Processor<S> {
             issue_to_exec: config.depth.issue_to_execute(),
             exec_to_wb: config.depth.execute_to_writeback(),
             renamed_this_cycle: 0,
+            retire_log_enabled: false,
+            retire_log: Vec::new(),
             cfg: config,
         }
     }
@@ -224,6 +228,26 @@ impl<S: InstStream> Processor<S> {
     /// Current resource constraints.
     pub fn constraints(&self) -> &ResourceConstraints {
         &self.constraints
+    }
+
+    /// The instruction stream driving this processor.
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Start recording every retired instruction, in commit order.
+    ///
+    /// Off by default: the differential harness turns it on to compare
+    /// the pipeline's retired stream against a functional reference
+    /// model. Purely observational — it does not perturb timing, the
+    /// activity trace, or any statistic.
+    pub fn enable_retire_log(&mut self) {
+        self.retire_log_enabled = true;
+    }
+
+    /// Retired instructions recorded since [`Processor::enable_retire_log`].
+    pub fn retired_log(&self) -> &[Inst] {
+        &self.retire_log
     }
 
     /// Advance one cycle and return what happened.
@@ -289,9 +313,9 @@ impl<S: InstStream> Processor<S> {
             if !ready {
                 break;
             }
-            let (op, addr) = {
+            let (op, addr, inst) = {
                 let e = self.rob.get(head).expect("head is live");
-                (e.inst.op, e.inst.mem.map(|m| m.addr))
+                (e.inst.op, e.inst.mem.map(|m| m.addr), e.inst)
             };
             if op == OpClass::Store {
                 // Schedule the commit-time D-cache access; the store then
@@ -321,6 +345,11 @@ impl<S: InstStream> Processor<S> {
                 self.store_drain.push((t, head));
             } else if op == OpClass::Load {
                 self.lsq.remove(head);
+            }
+            // Past the last early-exit: this instruction definitely
+            // retires this cycle.
+            if self.retire_log_enabled {
+                self.retire_log.push(inst);
             }
             self.release_map(head);
             self.rob.pop_head();

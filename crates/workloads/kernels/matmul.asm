@@ -1,0 +1,57 @@
+; matmul: 12x12 double-precision matrix multiply C = A * B.
+; A[k] = itof((k * 7) mod 13), B[k] = itof((k * 3) mod 11), k = row*12+col.
+;
+; Final state: C at 0x20000, row-major f64.
+    li r10, 0x10000   ; A
+    li r11, 0x18000   ; B
+    li r12, 0x20000   ; C
+    li r13, 13
+    li r14, 11
+    li r15, 12
+    li r1, 0          ; k
+    li r2, 144
+init:
+    mul r3, r1, 7
+    rem r3, r3, r13
+    itof f1, r3
+    sll r4, r1, 3
+    add r5, r10, r4
+    stq f1, 0(r5)
+    mul r3, r1, 3
+    rem r3, r3, r14
+    itof f1, r3
+    add r5, r11, r4
+    stq f1, 0(r5)
+    add r1, r1, 1
+    bne r1, r2, init
+    li r1, 0          ; i
+iloop:
+    li r2, 0          ; j
+jloop:
+    li r3, 0          ; k
+    itof f3, r31      ; acc = 0.0
+kloop:
+    mul r4, r1, 12
+    add r4, r4, r3
+    sll r4, r4, 3
+    add r4, r10, r4
+    ldq f1, 0(r4)     ; A[i][k]
+    mul r5, r3, 12
+    add r5, r5, r2
+    sll r5, r5, 3
+    add r5, r11, r5
+    ldq f2, 0(r5)     ; B[k][j]
+    fmul f4, f1, f2
+    fadd f3, f3, f4
+    add r3, r3, 1
+    bne r3, r15, kloop
+    mul r4, r1, 12
+    add r4, r4, r2
+    sll r4, r4, 3
+    add r4, r12, r4
+    stq f3, 0(r4)     ; C[i][j]
+    add r2, r2, 1
+    bne r2, r15, jloop
+    add r1, r1, 1
+    bne r1, r15, iloop
+    halt

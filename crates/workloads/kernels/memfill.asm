@@ -1,0 +1,27 @@
+; memfill: memset a 4 KiB buffer with a round-dependent byte pattern,
+; then memcpy it 8 bytes at a time into a second buffer. Two rounds.
+;
+; Final state: dst[i] = copy[i] = (i + 1) & 0xff for i in 0..4096.
+    li r1, 2          ; rounds remaining
+    li r10, 0x10000   ; dst
+    li r11, 0x18000   ; copy
+round:
+    li r2, 0          ; i
+    li r3, 4096
+fill:
+    add r4, r2, r1    ; value = (i + round) & 0xff
+    add r5, r10, r2
+    stb r4, 0(r5)
+    add r2, r2, 1
+    bne r2, r3, fill
+    li r2, 0
+copy:
+    add r5, r10, r2
+    ldq r6, 0(r5)
+    add r7, r11, r2
+    stq r6, 0(r7)
+    add r2, r2, 8
+    bne r2, r3, copy
+    sub r1, r1, 1
+    bne r1, r31, round
+    halt

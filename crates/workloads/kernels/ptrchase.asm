@@ -1,0 +1,34 @@
+; ptrchase: build a 512-node linked list (16-byte nodes: value, next)
+; whose next pointers follow a stride-167 permutation, then chase the
+; chain for 4096 hops summing the values.
+;
+; Final state: the sum at 0x18000.
+    li r10, 0x10000   ; nodes
+    li r1, 0
+    li r2, 512
+    li r13, 167
+build:
+    sll r3, r1, 4
+    add r3, r10, r3   ; &node[i]
+    mul r4, r1, r1
+    stq r4, 0(r3)     ; value = i*i
+    add r5, r1, r13
+    rem r5, r5, r2    ; next index = (i + 167) mod 512
+    sll r5, r5, 4
+    add r5, r10, r5
+    stq r5, 8(r3)     ; next pointer
+    add r1, r1, 1
+    bne r1, r2, build
+    li r20, 0         ; sum
+    mov r6, r10       ; p = &node[0]
+    li r1, 0
+    li r2, 4096
+chase:
+    ldq r4, 0(r6)
+    add r20, r20, r4
+    ldq r6, 8(r6)     ; p = p->next
+    add r1, r1, 1
+    bne r1, r2, chase
+    li r7, 0x18000
+    stq r20, 0(r7)
+    halt

@@ -1,0 +1,38 @@
+; rle: generate 2 KiB of input built from 8-byte runs, then run-length
+; encode it into (count, value) byte pairs.
+;
+; Final state: pairs at 0x18000, encoded length (in bytes) at 0x20000.
+    li r10, 0x10000   ; input
+    li r11, 0x18000   ; output
+    li r1, 0
+    li r2, 2048
+gen:
+    srl r3, r1, 3
+    mul r3, r3, 7
+    and r3, r3, 0xff  ; input[i] = ((i >> 3) * 7) & 0xff
+    add r4, r10, r1
+    stb r3, 0(r4)
+    add r1, r1, 1
+    bne r1, r2, gen
+    li r1, 0          ; read position
+    li r5, 0          ; write position
+enc:
+    add r4, r10, r1
+    ldb r6, 0(r4)     ; run value
+    li r7, 0          ; run length
+run:
+    add r7, r7, 1
+    add r1, r1, 1
+    bge r1, r2, flush
+    add r4, r10, r1
+    ldb r8, 0(r4)
+    beq r8, r6, run
+flush:
+    add r9, r11, r5
+    stb r7, 0(r9)
+    stb r6, 1(r9)
+    add r5, r5, 2
+    blt r1, r2, enc
+    li r4, 0x20000
+    stq r5, 0(r4)
+    halt

@@ -1,0 +1,41 @@
+; sort: fill 128 u64s from a truncated LCG, then insertion-sort them
+; in place (unsigned compares).
+;
+; Final state: a[0..128] at 0x10000 sorted ascending.
+    li r10, 0x10000
+    li r1, 0
+    li r2, 128
+    li r3, 12345      ; LCG state
+fill:
+    mul r3, r3, 1103515245
+    add r3, r3, 12345
+    and r3, r3, 0xffffffff
+    sll r4, r1, 3
+    add r5, r10, r4
+    stq r3, 0(r5)
+    add r1, r1, 1
+    bne r1, r2, fill
+    li r1, 1          ; i
+outer:
+    sll r4, r1, 3
+    add r5, r10, r4
+    ldq r6, 0(r5)     ; key = a[i]
+    mov r7, r1        ; j
+inner:
+    sub r8, r7, 1
+    sll r9, r8, 3
+    add r9, r10, r9
+    ldq r11, 0(r9)    ; a[j-1]
+    bgeu r6, r11, place
+    sll r12, r7, 3
+    add r12, r10, r12
+    stq r11, 0(r12)   ; a[j] = a[j-1]
+    mov r7, r8
+    bne r7, r31, inner
+place:
+    sll r12, r7, 3
+    add r12, r10, r12
+    stq r6, 0(r12)    ; a[j] = key
+    add r1, r1, 1
+    bne r1, r2, outer
+    halt

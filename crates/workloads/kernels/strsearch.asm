@@ -1,0 +1,49 @@
+; strsearch: generate 2 KiB of pseudo-random text, plant an 8-byte needle
+; (a copy of text[1900..1908]), then naively scan every position counting
+; matches and recording the first match index.
+;
+; Final state: r20 = match count, r21 = first match index.
+    li r10, 0x10000   ; text
+    li r11, 0x18000   ; needle
+    li r13, 251
+    li r1, 0          ; i
+    li r2, 2048
+gen:
+    mul r3, r1, 31
+    add r3, r3, 7
+    rem r3, r3, r13   ; text[i] = (i*31 + 7) mod 251
+    add r4, r10, r1
+    stb r3, 0(r4)
+    add r1, r1, 1
+    bne r1, r2, gen
+    li r1, 0
+    li r5, 8
+copyn:
+    add r3, r10, r1
+    ldb r4, 1900(r3)
+    add r3, r11, r1
+    stb r4, 0(r3)
+    add r1, r1, 1
+    bne r1, r5, copyn
+    li r1, 0          ; position
+    li r2, 2041       ; 2048 - 8 + 1
+    li r20, 0         ; match count
+    li r21, -1        ; first match index (-1 = none yet)
+scan:
+    li r3, 0          ; j
+inner:
+    add r4, r10, r1
+    add r4, r4, r3
+    ldb r6, 0(r4)
+    add r7, r11, r3
+    ldb r8, 0(r7)
+    bne r6, r8, nomatch
+    add r3, r3, 1
+    bne r3, r5, inner
+    add r20, r20, 1   ; full needle matched
+    bge r21, r31, nomatch
+    mov r21, r1       ; record first match
+nomatch:
+    add r1, r1, 1
+    bne r1, r2, scan
+    halt

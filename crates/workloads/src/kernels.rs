@@ -1,0 +1,389 @@
+//! Real-program kernels: checked-in assembly sources, their expected
+//! final states, and the [`ProgramStream`] adapter that feeds an emulated
+//! program to the pipeline.
+//!
+//! The kernels sit beside the synthetic SPEC profiles as the second
+//! workload family: where [`crate::SyntheticWorkload`] produces
+//! statistically-shaped streams, a kernel's idleness pattern is the
+//! product of real control and data flow. Each kernel ends in `halt`;
+//! because [`crate::InstStream`]s are unbounded, [`ProgramStream`] keeps
+//! emitting the halt instruction's self-loop jump after the program
+//! finishes, so experiment windows longer than the program still run.
+//!
+//! Every kernel carries a Rust *oracle* mirroring its data generation, so
+//! [`Kernel::verify_final_state`] checks semantic results (sortedness,
+//! matrix entries, match indices) against an independent recomputation —
+//! not against numbers frozen from a previous emulator run.
+
+use dcg_emu::{assemble, CommitRecord, Emulator, Program};
+use dcg_isa::{ArchReg, Inst};
+
+use crate::stream::InstStream;
+
+/// The six checked-in kernels, in registry order.
+const SOURCES: [(&str, &str); 6] = [
+    ("memfill", include_str!("../kernels/memfill.asm")),
+    ("matmul", include_str!("../kernels/matmul.asm")),
+    ("strsearch", include_str!("../kernels/strsearch.asm")),
+    ("sort", include_str!("../kernels/sort.asm")),
+    ("ptrchase", include_str!("../kernels/ptrchase.asm")),
+    ("rle", include_str!("../kernels/rle.asm")),
+];
+
+/// Generous per-kernel step budget: every kernel halts well under this.
+pub const KERNEL_STEP_LIMIT: u64 = 2_000_000;
+
+/// A checked-in real-program kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// Registry name (also the workload name reported by its stream).
+    pub name: &'static str,
+    /// The assembly source text.
+    pub source: &'static str,
+}
+
+impl Kernel {
+    /// All kernels in registry order.
+    pub fn all() -> Vec<Kernel> {
+        SOURCES
+            .iter()
+            .map(|(name, source)| Kernel { name, source })
+            .collect()
+    }
+
+    /// Look up a kernel by name.
+    pub fn by_name(name: &str) -> Option<Kernel> {
+        Self::all().into_iter().find(|k| k.name == name)
+    }
+
+    /// Assemble the kernel's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a checked-in kernel fails to assemble — that is a broken
+    /// commit, not a runtime condition.
+    pub fn assemble(&self) -> Program {
+        match assemble(self.name, self.source) {
+            Ok(p) => p,
+            Err(e) => panic!("checked-in kernel `{}` does not assemble: {e}", self.name),
+        }
+    }
+
+    /// Run the kernel to completion on the functional emulator, returning
+    /// the final machine state and every commit record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel faults or fails to halt — checked-in kernels
+    /// must run clean.
+    pub fn emulate(&self) -> (Emulator, Vec<CommitRecord>) {
+        let mut emu = Emulator::new(self.assemble());
+        match emu.run(KERNEL_STEP_LIMIT) {
+            Ok(records) => (emu, records),
+            Err(e) => panic!("kernel `{}` failed under emulation: {e}", self.name),
+        }
+    }
+
+    /// An unbounded instruction stream executing this kernel.
+    pub fn stream(&self) -> ProgramStream {
+        ProgramStream::new(self.assemble())
+    }
+
+    /// Check the emulator's final architectural state against this
+    /// kernel's Rust oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn verify_final_state(&self, emu: &Emulator) -> Result<(), String> {
+        match self.name {
+            "memfill" => verify_memfill(emu),
+            "matmul" => verify_matmul(emu),
+            "strsearch" => verify_strsearch(emu),
+            "sort" => verify_sort(emu),
+            "ptrchase" => verify_ptrchase(emu),
+            "rle" => verify_rle(emu),
+            other => Err(format!("kernel `{other}` has no oracle")),
+        }
+    }
+}
+
+fn expect_mem(emu: &Emulator, addr: u64, size: u8, want: u64, what: &str) -> Result<(), String> {
+    let got = emu.mem().read(addr, size);
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what}: memory[{addr:#x}..+{size}] = {got:#x}, expected {want:#x}"
+        ))
+    }
+}
+
+fn expect_reg(emu: &Emulator, reg: ArchReg, want: u64, what: &str) -> Result<(), String> {
+    let got = emu.reg(reg);
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{what}: {reg} = {got:#x}, expected {want:#x}"))
+    }
+}
+
+fn verify_memfill(emu: &Emulator) -> Result<(), String> {
+    for i in 0..4096u64 {
+        let want = (i + 1) & 0xff;
+        expect_mem(emu, 0x10000 + i, 1, want, "memfill dst")?;
+        expect_mem(emu, 0x18000 + i, 1, want, "memfill copy")?;
+    }
+    Ok(())
+}
+
+fn verify_matmul(emu: &Emulator) -> Result<(), String> {
+    let a: Vec<f64> = (0..144).map(|k| ((k * 7) % 13) as f64).collect();
+    let b: Vec<f64> = (0..144).map(|k| ((k * 3) % 11) as f64).collect();
+    for i in 0..12 {
+        for j in 0..12 {
+            // Same accumulation order as the kernel: k ascending.
+            let mut acc = 0.0f64;
+            for k in 0..12 {
+                acc += a[i * 12 + k] * b[k * 12 + j];
+            }
+            expect_mem(
+                emu,
+                0x20000 + 8 * (i * 12 + j) as u64,
+                8,
+                acc.to_bits(),
+                "matmul C entry",
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn strsearch_text() -> Vec<u8> {
+    (0..2048u64).map(|i| ((i * 31 + 7) % 251) as u8).collect()
+}
+
+fn verify_strsearch(emu: &Emulator) -> Result<(), String> {
+    let text = strsearch_text();
+    let needle = &text[1900..1908];
+    let mut count = 0u64;
+    let mut first = -1i64;
+    for i in 0..=(text.len() - 8) {
+        if &text[i..i + 8] == needle {
+            count += 1;
+            if first < 0 {
+                first = i as i64;
+            }
+        }
+    }
+    expect_reg(emu, ArchReg::int(20), count, "strsearch match count")?;
+    expect_reg(emu, ArchReg::int(21), first as u64, "strsearch first match")?;
+    Ok(())
+}
+
+fn sort_input() -> Vec<u64> {
+    let mut x = 12345u64;
+    (0..128)
+        .map(|_| {
+            x = (x.wrapping_mul(1_103_515_245).wrapping_add(12_345)) & 0xffff_ffff;
+            x
+        })
+        .collect()
+}
+
+fn verify_sort(emu: &Emulator) -> Result<(), String> {
+    let mut want = sort_input();
+    want.sort_unstable();
+    for (i, w) in want.iter().enumerate() {
+        expect_mem(emu, 0x10000 + 8 * i as u64, 8, *w, "sorted element")?;
+    }
+    Ok(())
+}
+
+fn verify_ptrchase(emu: &Emulator) -> Result<(), String> {
+    let mut sum = 0u64;
+    let mut idx = 0u64;
+    for _ in 0..4096 {
+        sum = sum.wrapping_add(idx.wrapping_mul(idx));
+        idx = (idx + 167) % 512;
+    }
+    expect_mem(emu, 0x18000, 8, sum, "ptrchase sum")
+}
+
+fn verify_rle(emu: &Emulator) -> Result<(), String> {
+    let input: Vec<u8> = (0..2048u64)
+        .map(|i| (((i >> 3) * 7) & 0xff) as u8)
+        .collect();
+    let mut pairs: Vec<(u8, u8)> = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        let v = input[i];
+        let mut n = 0u8;
+        while i < input.len() && input[i] == v {
+            n += 1;
+            i += 1;
+        }
+        pairs.push((n, v));
+    }
+    expect_mem(emu, 0x20000, 8, 2 * pairs.len() as u64, "rle output length")?;
+    for (k, (n, v)) in pairs.iter().enumerate() {
+        let base = 0x18000 + 2 * k as u64;
+        expect_mem(emu, base, 1, u64::from(*n), "rle run length")?;
+        expect_mem(emu, base + 1, 1, u64::from(*v), "rle run value")?;
+    }
+    Ok(())
+}
+
+/// An unbounded [`InstStream`] over a functionally-emulated [`Program`].
+///
+/// Each `next_inst` call commits one instruction on the internal
+/// [`Emulator`] and hands the resolved dynamic [`Inst`] to the pipeline.
+/// After `halt` commits, the stream repeats the halt instruction (a taken
+/// self-loop jump) forever, so the simulator's fetch stage never starves.
+///
+/// With [`ProgramStream::with_log`], every [`CommitRecord`] is kept for
+/// later inspection — the differential harness uses this to compare
+/// architectural effects, not just instruction identity.
+///
+/// # Panics
+///
+/// `next_inst` panics if the program faults (escapes its text segment,
+/// misaligns an access): a workload that cannot produce its next
+/// instruction is a broken experiment, matching the synthetic generator's
+/// panic-on-invalid behaviour.
+#[derive(Debug)]
+pub struct ProgramStream {
+    name: String,
+    emu: Emulator,
+    spin: Option<Inst>,
+    log: Option<Vec<CommitRecord>>,
+}
+
+impl ProgramStream {
+    /// Stream `program` without keeping commit records.
+    pub fn new(program: Program) -> ProgramStream {
+        ProgramStream {
+            name: program.name().to_string(),
+            emu: Emulator::new(program),
+            spin: None,
+            log: None,
+        }
+    }
+
+    /// Stream `program`, keeping every [`CommitRecord`] for
+    /// [`ProgramStream::log`].
+    pub fn with_log(program: Program) -> ProgramStream {
+        ProgramStream {
+            name: program.name().to_string(),
+            emu: Emulator::new(program),
+            spin: None,
+            log: Some(Vec::new()),
+        }
+    }
+
+    /// Commit records collected so far (empty unless constructed via
+    /// [`ProgramStream::with_log`]). Post-halt spin instructions are not
+    /// recorded.
+    pub fn log(&self) -> &[CommitRecord] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// The underlying emulator (architectural state so far).
+    pub fn emulator(&self) -> &Emulator {
+        &self.emu
+    }
+
+    /// `true` once the program has halted and the stream is spinning.
+    pub fn halted(&self) -> bool {
+        self.emu.halted()
+    }
+}
+
+impl InstStream for ProgramStream {
+    fn next_inst(&mut self) -> Inst {
+        if let Some(spin) = self.spin {
+            return spin;
+        }
+        match self.emu.step() {
+            Ok(Some(record)) => {
+                if self.emu.halted() {
+                    // `halt` is a taken self-loop jump; repeat it forever.
+                    self.spin = Some(record.inst);
+                }
+                if let Some(log) = &mut self.log {
+                    log.push(record);
+                }
+                record.inst
+            }
+            Ok(None) => unreachable!("spin instruction is set when the emulator halts"),
+            Err(e) => panic!("kernel `{}` faulted mid-stream: {e}", self.name),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcg_isa::OpClass;
+
+    #[test]
+    fn all_kernels_assemble_run_and_verify() {
+        let kernels = Kernel::all();
+        assert_eq!(kernels.len(), 6);
+        for k in kernels {
+            let (emu, records) = k.emulate();
+            assert!(
+                records.len() >= 20_000,
+                "kernel `{}` is too short for a measurement window: {} insts",
+                k.name,
+                records.len()
+            );
+            k.verify_final_state(&emu)
+                .unwrap_or_else(|e| panic!("kernel `{}` final state: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn by_name_finds_each_kernel() {
+        for k in Kernel::all() {
+            assert_eq!(Kernel::by_name(k.name).unwrap().name, k.name);
+        }
+        assert!(Kernel::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn stream_matches_emulation_then_spins() {
+        let k = Kernel::by_name("memfill").unwrap();
+        let (_, records) = k.emulate();
+        let mut stream = ProgramStream::with_log(k.assemble());
+        let n = records.len();
+        for (i, want) in records.iter().enumerate() {
+            assert_eq!(stream.next_inst(), want.inst, "inst {i}");
+        }
+        assert!(stream.halted());
+        assert_eq!(stream.log().len(), n);
+        // Post-halt: the same taken self-loop jump forever.
+        let spin = stream.next_inst();
+        assert_eq!(spin.op, OpClass::Branch);
+        let b = spin.branch.unwrap();
+        assert!(b.taken);
+        assert_eq!(b.target, spin.pc);
+        assert_eq!(stream.next_inst(), spin);
+        assert_eq!(stream.log().len(), n, "spin insts are not logged");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let k = Kernel::by_name("rle").unwrap();
+        let mut a = k.stream();
+        let mut b = k.stream();
+        for _ in 0..1000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+        assert_eq!(a.name(), "rle");
+    }
+}

@@ -41,6 +41,7 @@
 
 mod analysis;
 mod generator;
+mod kernels;
 mod mix;
 mod profile;
 mod spec;
@@ -48,6 +49,7 @@ mod stream;
 
 pub use analysis::StreamAnalysis;
 pub use generator::SyntheticWorkload;
+pub use kernels::{Kernel, ProgramStream, KERNEL_STEP_LIMIT};
 pub use mix::OpMix;
 pub use profile::{BenchmarkProfile, BranchModel, DepModel, MemoryModel, SuiteKind};
 pub use spec::Spec2000;

@@ -13,7 +13,8 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`isa`] | `dcg-isa` | Alpha-like instruction-set model |
-//! | [`workloads`] | `dcg-workloads` | synthetic SPEC2000-like generators |
+//! | [`emu`] | `dcg-emu` | assembler + functional reference emulator |
+//! | [`workloads`] | `dcg-workloads` | synthetic SPEC2000-like generators + real kernels |
 //! | [`sim`] | `dcg-sim` | the out-of-order pipeline substrate |
 //! | [`power`] | `dcg-power` | the per-component energy model |
 //! | [`core`] | `dcg-core` | **DCG** (the paper's contribution) + PLB |
@@ -45,6 +46,7 @@
 #![deny(missing_docs)]
 
 pub use dcg_core as core;
+pub use dcg_emu as emu;
 pub use dcg_experiments as experiments;
 pub use dcg_isa as isa;
 pub use dcg_power as power;

@@ -1,0 +1,157 @@
+//! Differential emulated-vs-pipelined testing: the functional emulator is
+//! the golden reference model, and the timing pipeline must retire exactly
+//! its committed stream — same PCs, same operands, same resolved memory
+//! addresses and branch behaviour, same register and memory writes — at
+//! every pipeline depth. A deliberately broken program must fail the check
+//! *loudly*, with a report naming the first mismatching instruction.
+
+use dcg_repro::core::{run_passive, Dcg, FaultPlan, FaultyPolicy, RunLength};
+use dcg_repro::emu::{AsmInst, Emulator, Funct, Program};
+use dcg_repro::experiments::differential_check;
+use dcg_repro::sim::{LatchGroups, SimConfig};
+use dcg_repro::workloads::{Kernel, KERNEL_STEP_LIMIT};
+
+/// The two depths the paper evaluates: the 8-stage baseline and the
+/// 20-stage deep pipeline of Figure 17.
+fn depths() -> [(&'static str, SimConfig); 2] {
+    [
+        ("baseline-8", SimConfig::baseline_8wide()),
+        ("deep-20", SimConfig::deep_pipeline_20()),
+    ]
+}
+
+#[test]
+fn every_kernel_matches_the_emulator_at_both_depths() {
+    for (depth, sim) in depths() {
+        for k in Kernel::all() {
+            let program = k.assemble();
+            match differential_check(&sim, &program, &program) {
+                Ok(n) => assert!(
+                    n > 20_000,
+                    "{} at {depth}: compared only {n} instructions",
+                    k.name
+                ),
+                Err(d) => panic!("{} at {depth}: {d}", k.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_kernel_reaches_its_expected_final_state() {
+    for k in Kernel::all() {
+        let (emu, records) = k.emulate();
+        assert!(
+            emu.halted(),
+            "{}: kernel must halt within the step limit",
+            k.name
+        );
+        assert!(
+            records.len() > 20_000,
+            "{}: kernel is too short to exercise the pipeline ({} insts)",
+            k.name,
+            records.len()
+        );
+        if let Err(e) = k.verify_final_state(&emu) {
+            panic!("{}: final state mismatch: {e}", k.name);
+        }
+    }
+}
+
+/// Mutate one instruction of `p` such that the program still assembles,
+/// still runs clean on the emulator, but computes something different.
+/// Candidates that fault (e.g. a base-address flip breaking alignment) or
+/// that change nothing observable are skipped.
+fn sabotage(p: &Program) -> (usize, Program) {
+    let golden = Emulator::new(p.clone())
+        .run(KERNEL_STEP_LIMIT)
+        .expect("the unmutated kernel runs clean");
+    for (i, inst) in p.insts().iter().enumerate() {
+        let live_dest = inst.dest.map(|d| !d.is_zero()).unwrap_or(false);
+        if inst.funct != Funct::Add || !inst.uses_imm || !live_dest {
+            continue;
+        }
+        // XOR with 8 preserves the alignment of any power-of-two-sized
+        // access the immediate may be feeding.
+        let broken = AsmInst {
+            imm: inst.imm ^ 8,
+            ..*inst
+        };
+        let mut mutated = p.clone();
+        mutated.replace(i, broken);
+        match Emulator::new(mutated.clone()).run(KERNEL_STEP_LIMIT) {
+            Ok(records) if records != golden => return (i, mutated),
+            _ => continue,
+        }
+    }
+    panic!(
+        "no benign single-instruction mutation found for `{}`",
+        p.name()
+    );
+}
+
+#[test]
+fn a_single_instruction_fault_fails_loudly_in_every_kernel() {
+    let sim = SimConfig::baseline_8wide();
+    for k in Kernel::all() {
+        let golden = k.assemble();
+        let (victim, mutated) = sabotage(&golden);
+        let err = match differential_check(&sim, &golden, &mutated) {
+            Err(d) => d,
+            Ok(n) => panic!(
+                "{}: flipping the immediate of instruction {victim} went unnoticed \
+                 over {n} compared instructions",
+                k.name
+            ),
+        };
+        // The report is structured, not a diff dump: it names the kernel,
+        // the first divergent commit, and the facet that diverged.
+        assert_eq!(err.kernel, k.name);
+        assert!(
+            !err.field.is_empty() && !err.expected.is_empty() && !err.got.is_empty(),
+            "{}: divergence report is incomplete: {err:?}",
+            k.name
+        );
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("first divergence") && rendered.contains(k.name),
+            "{}: unhelpful divergence report: {rendered}",
+            k.name
+        );
+    }
+}
+
+/// Gate-level fault smoke on a real-program stream: perturbing DCG's
+/// decisions while a kernel drives the pipeline must never let a
+/// violating block-cycle through (the safety net fails open instead).
+#[test]
+fn gate_faults_on_a_kernel_stream_never_violate() {
+    let sim = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&sim.depth);
+    let length = RunLength {
+        warmup_insts: 500,
+        measure_insts: 2_000,
+    };
+    let plan = FaultPlan::generate(0xDC6_0001, 9);
+    let k = Kernel::by_name("sort").expect("sort kernel exists");
+    let mut perturbed_somewhere = false;
+    for spec in plan.faults.iter().filter(|s| s.point.is_gate_level()) {
+        let mut inner = Dcg::new(&sim, &groups);
+        let mut faulty = FaultyPolicy::new(&mut inner, *spec, &sim, &groups);
+        let mut run = run_passive(&sim, k.stream(), length, &mut [&mut faulty]);
+        let altered = faulty.altered();
+        let out = run.outcomes.remove(0);
+        assert_eq!(
+            out.audit.violations,
+            0,
+            "fault {} ({}) let a violating block-cycle through",
+            spec.id,
+            spec.point.label()
+        );
+        perturbed_somewhere |= altered > 0 || out.safety.total_detected() > 0;
+    }
+    assert!(
+        perturbed_somewhere,
+        "no gate fault perturbed anything — the smoke test tested nothing"
+    );
+}

@@ -9,7 +9,7 @@
 //! suite) when that happens.
 
 use dcg_repro::core::{run_passive, Dcg, NoGating, RunLength};
-use dcg_repro::experiments::{ExperimentConfig, Suite};
+use dcg_repro::experiments::{kernel_savings_json, run_kernels, ExperimentConfig, Suite};
 use dcg_repro::sim::{LatchGroups, SimConfig};
 use dcg_repro::workloads::{Spec2000, SyntheticWorkload};
 
@@ -78,4 +78,104 @@ fn quick_suite_matches_goldens() {
             "{name}: IPC drifted: got {got_ipc}, golden {ipc}"
         );
     }
+}
+
+/// The real-program kernel suite, locked to goldens: cycle and commit
+/// counts must stay *exact* (the kernels, the assembler and the pipeline
+/// are all deterministic), and each gating scheme's total-power saving
+/// must stay within ±0.1% (relative) of the committed reference run.
+#[test]
+fn kernel_suite_matches_goldens() {
+    // (kernel, cycles, committed, DCG saving, PLB-ext saving, oracle
+    // saving) from a committed reference run of `run_kernels` at the
+    // 8-wide baseline. PLB-ext legitimately saves nothing on memfill:
+    // the kernel never leaves PLB's high-IPC operating region.
+    const GOLDENS: [(&str, u64, u64, f64, f64, f64); 6] = [
+        (
+            "memfill",
+            4_066,
+            20_005,
+            0.100049193186398,
+            0.0,
+            0.100898864182090,
+        ),
+        (
+            "matmul",
+            4_005,
+            20_001,
+            0.114967848764621,
+            0.031291420632055,
+            0.118020384421905,
+        ),
+        (
+            "strsearch",
+            20_939,
+            20_001,
+            0.330079716933317,
+            0.343030175906036,
+            0.346437877494813,
+        ),
+        (
+            "sort",
+            5_071,
+            20_001,
+            0.153436352595769,
+            0.017077921572453,
+            0.154568276169641,
+        ),
+        (
+            "ptrchase",
+            13_365,
+            20_000,
+            0.274899634579927,
+            0.307190231681881,
+            0.283246534924826,
+        ),
+        (
+            "rle",
+            6_308,
+            20_000,
+            0.186330344030705,
+            0.037789781980561,
+            0.187548633430676,
+        ),
+    ];
+    const REL_TOL: f64 = 1e-3; // ±0.1%
+    let close = |got: f64, want: f64| (got - want).abs() <= want.abs().max(1e-9) * REL_TOL;
+
+    let runs = run_kernels(&SimConfig::baseline_8wide(), None);
+    assert_eq!(runs.len(), GOLDENS.len());
+    for (run, (name, cycles, committed, dcg, plb, oracle)) in runs.iter().zip(GOLDENS) {
+        assert_eq!(run.name, name);
+        assert_eq!(run.stats.cycles, cycles, "{name}: cycle count drifted");
+        assert_eq!(
+            run.stats.committed, committed,
+            "{name}: commit count drifted"
+        );
+        assert_eq!(
+            run.dcg.audit.violations, 0,
+            "{name}: DCG violated gating safety"
+        );
+        let (got_dcg, got_plb, got_oracle) =
+            (run.dcg_saving(), run.plb_ext_saving(), run.oracle_saving());
+        assert!(
+            close(got_dcg, dcg),
+            "{name}: DCG saving drifted: got {got_dcg}, golden {dcg}"
+        );
+        assert!(
+            close(got_plb, plb),
+            "{name}: PLB-ext saving drifted: got {got_plb}, golden {plb}"
+        );
+        assert!(
+            close(got_oracle, oracle),
+            "{name}: oracle saving drifted: got {got_oracle}, golden {oracle}"
+        );
+    }
+
+    // The JSON identity surface is integer-only (counts and f64 bit
+    // patterns) — serializing the same runs twice must be byte-identical.
+    let doc = kernel_savings_json(&runs).to_string();
+    assert_eq!(doc, kernel_savings_json(&runs).to_string());
+    assert!(doc.contains("\"schema\":\"dcg-kernel-savings-v1\""));
+    assert!(!doc.contains("null"), "identity surface must never be null");
 }

@@ -208,3 +208,71 @@ fn oracle_replays_bit_identically() {
 
     assert_eq!(report_bits(&live.report), report_bits(&replayed.report));
 }
+
+/// Real-program kernel streams go through the same simulate-once cache as
+/// the synthetic workloads: the cold (recording) run and the warm
+/// (replayed) run must both be bit-identical to a live simulation.
+#[test]
+fn kernel_stream_replays_bit_identically() {
+    use dcg_repro::workloads::Kernel;
+
+    const KERNEL_SEED: u64 = 0;
+    let cfg = SimConfig::baseline_8wide();
+    let length = RunLength {
+        warmup_insts: 2_000,
+        measure_insts: 20_000,
+    };
+    let k = Kernel::by_name("rle").expect("rle kernel exists");
+    let cache = fresh_cache("kernel-rle");
+
+    let cached = |cache: &TraceCache| -> PassiveRun {
+        let groups = LatchGroups::new(&cfg.depth);
+        let mut baseline = NoGating::new(&cfg, &groups);
+        let mut dcg = Dcg::new(&cfg, &groups);
+        cache
+            .run_passive_cached_stream(
+                &cfg,
+                k.name,
+                KERNEL_SEED,
+                length,
+                || k.stream(),
+                &mut [&mut baseline, &mut dcg],
+                &mut [],
+            )
+            .expect("cached kernel run over an intact entry")
+    };
+
+    let live = {
+        let groups = LatchGroups::new(&cfg.depth);
+        let mut baseline = NoGating::new(&cfg, &groups);
+        let mut dcg = Dcg::new(&cfg, &groups);
+        let mut cpu = Processor::new(cfg.clone(), k.stream());
+        run_passive_with_sinks(
+            &cfg,
+            &mut cpu,
+            length,
+            &mut [&mut baseline, &mut dcg],
+            &mut [],
+        )
+        .expect("a live simulation source cannot fail")
+    };
+    let cold = cached(&cache);
+    assert!(
+        cache
+            .replay_source(&cfg, k.name, KERNEL_SEED, length)
+            .is_some(),
+        "cold kernel run must leave a valid cache entry"
+    );
+    let warm = cached(&cache);
+
+    assert_eq!(
+        run_bits(&live),
+        run_bits(&cold),
+        "recording a kernel stream must not change results"
+    );
+    assert_eq!(
+        run_bits(&live),
+        run_bits(&warm),
+        "replaying a kernel stream must be bit-identical to live"
+    );
+}
