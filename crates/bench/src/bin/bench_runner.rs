@@ -29,6 +29,7 @@ const KNOWN: &[&str] = &[
     "sim_throughput",
     "fig10_total_power",
     "alu_sweep_cache",
+    "kernel_stream",
     "--metrics-json",
     "--faults N",
 ];
@@ -53,6 +54,10 @@ fn main() -> ExitCode {
             "fig10_total_power" => failures += dcg_bench::run_fig10_total_power(),
             "alu_sweep_cache" => {
                 let path = dcg_bench::run_alu_sweep_cache().expect("write bench JSON");
+                eprintln!("wrote {}", path.display());
+            }
+            "kernel_stream" => {
+                let path = dcg_bench::run_kernel_stream().expect("write bench JSON");
                 eprintln!("wrote {}", path.display());
             }
             "--metrics-json" => {

@@ -377,14 +377,95 @@ pub fn run_fault_campaign(faults: u32) -> std::io::Result<(PathBuf, bool)> {
     Ok((path, campaign.all_classified()))
 }
 
+/// Forces the scalar per-cycle replay path by hiding block support —
+/// the pre-block baseline the batched sweep is measured against.
+struct ScalarReplay(dcg_core::ReplaySource);
+
+impl dcg_core::ActivitySource for ScalarReplay {
+    fn next_cycle(&mut self) -> Result<&dcg_sim::CycleActivity, dcg_core::DcgError> {
+        self.0.next_cycle()
+    }
+    fn committed(&self) -> u64 {
+        self.0.committed()
+    }
+    fn cycle(&self) -> u64 {
+        self.0.cycle()
+    }
+    fn supports_constraints(&self) -> bool {
+        false
+    }
+    fn apply_constraints(&mut self, _constraints: dcg_sim::ResourceConstraints) {
+        panic!("replayed activity cannot honor resource constraints");
+    }
+}
+
+/// Re-run the §4.4 sweep from a warm cache through the **scalar**
+/// per-cycle replay path (policy fan-out, one record at a time) — what
+/// every warm sweep point cost before the block refactor. Returns the
+/// table rows as exact bits plus the decode totals (cycles, entry bytes).
+fn alu_sweep_scalar_replay(
+    cfg: &dcg_experiments::ExperimentConfig,
+    cache: &dcg_core::TraceCache,
+) -> (Vec<(String, Vec<u64>)>, u64, u64) {
+    use dcg_core::{run_passive_source, ActivitySource, NoGating, RunLength};
+    use dcg_sim::{LatchGroups, SimConfig};
+
+    let mut rows: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut worst = vec![f64::INFINITY; dcg_experiments::ALU_COUNTS.len()];
+    let (mut cycles, mut bytes) = (0u64, 0u64);
+    for p in cfg
+        .benchmarks
+        .iter()
+        .filter(|p| p.suite == dcg_workloads::SuiteKind::Int)
+    {
+        let ipcs: Vec<f64> = dcg_experiments::ALU_COUNTS
+            .iter()
+            .map(|n| {
+                let alu_cfg = SimConfig {
+                    int_alus: *n,
+                    ..cfg.sim.clone()
+                };
+                let groups = LatchGroups::new(&alu_cfg.depth);
+                let length: RunLength = cfg.length;
+                let entry = cache.entry_path_for(&alu_cfg, p.name, cfg.seed, length);
+                bytes += std::fs::metadata(&entry).map(|m| m.len()).unwrap_or(0);
+                let replay = cache
+                    .replay_source(&alu_cfg, p.name, cfg.seed, length)
+                    .expect("warm cache entry for every sweep point");
+                let mut source = ScalarReplay(replay);
+                let mut policy = NoGating::new(&alu_cfg, &groups);
+                let run = run_passive_source(&alu_cfg, &mut source, length, &mut [&mut policy])
+                    .expect("validated entry replays");
+                cycles += source.cycle();
+                run.stats.ipc()
+            })
+            .collect();
+        let rel: Vec<f64> = ipcs.iter().map(|i| 100.0 * i / ipcs[0]).collect();
+        for (w, r) in worst.iter_mut().zip(&rel) {
+            *w = w.min(*r);
+        }
+        rows.push((
+            p.name.to_string(),
+            rel.iter().map(|v| v.to_bits()).collect(),
+        ));
+    }
+    rows.push((
+        "worst-case".to_string(),
+        worst.iter().map(|v| v.to_bits()).collect(),
+    ));
+    (rows, cycles, bytes)
+}
+
 /// The `alu_sweep_cache` harness: demonstrate the simulate-once
 /// architecture on the §4.4 ALU sweep.
 ///
-/// Runs the sweep three times — live (no cache), cold cache (simulate +
-/// record) and warm cache (pure replay) — asserts all three tables are
-/// bit-identical, and writes the wall-clock comparison to
-/// `crates/bench/results/alu_sweep_cache.json`. On a warm cache the sweep
-/// must beat the live run by ≥ 2×.
+/// Runs the sweep four times — live (no cache), cold cache (simulate +
+/// record), warm cache (blockwise batched replay) and warm cache forced
+/// through the scalar per-cycle path — asserts all four produce
+/// bit-identical tables, and writes the wall-clock comparison (with
+/// machine-comparable cycles/sec and decoded-bytes/sec derived fields)
+/// to `crates/bench/results/alu_sweep_cache.json` **and** the
+/// repo-root `BENCH_sweep.json` perf-trajectory file.
 pub fn run_alu_sweep_cache() -> std::io::Result<PathBuf> {
     use dcg_core::TraceCache;
     use dcg_testkit::bench::time;
@@ -401,8 +482,11 @@ pub fn run_alu_sweep_cache() -> std::io::Result<PathBuf> {
     let (live_table, live_ns) = time(|| dcg_experiments::alu_sweep_with(&cfg, None));
     eprintln!("alu_sweep cold cache (simulate + record)...");
     let (cold_table, cold_ns) = time(|| dcg_experiments::alu_sweep_with(&cfg, Some(&cache)));
-    eprintln!("alu_sweep warm cache (replay)...");
+    eprintln!("alu_sweep warm cache (blockwise replay)...");
     let (warm_table, warm_ns) = time(|| dcg_experiments::alu_sweep_with(&cfg, Some(&cache)));
+    eprintln!("alu_sweep warm cache (scalar per-cycle replay)...");
+    let ((scalar_rows, replayed_cycles, replayed_bytes), warm_scalar_ns) =
+        time(|| alu_sweep_scalar_replay(&cfg, &cache));
 
     let bits = |t: &FigureTable| -> Vec<(String, Vec<u64>)> {
         t.rows
@@ -418,27 +502,147 @@ pub fn run_alu_sweep_cache() -> std::io::Result<PathBuf> {
     assert_eq!(
         bits(&live_table),
         bits(&warm_table),
-        "replay must reproduce the live sweep bit-identically"
+        "blockwise replay must reproduce the live sweep bit-identically"
+    );
+    assert_eq!(
+        bits(&live_table),
+        scalar_rows,
+        "scalar replay must reproduce the live sweep bit-identically"
     );
 
     let speedup = live_ns as f64 / warm_ns.max(1) as f64;
+    let batch_over_scalar = warm_scalar_ns as f64 / warm_ns.max(1) as f64;
+    let warm_s = warm_ns.max(1) as f64 / 1e9;
+    let cycles_per_sec = replayed_cycles as f64 / warm_s;
+    let bytes_per_sec = replayed_bytes as f64 / warm_s;
     eprintln!(
-        "live {:.3} s, cold {:.3} s, warm {:.3} s -> warm-cache speedup {speedup:.1}x",
+        "live {:.3} s, cold {:.3} s, warm {:.3} s, warm-scalar {:.3} s",
         live_ns as f64 / 1e9,
         cold_ns as f64 / 1e9,
-        warm_ns as f64 / 1e9
+        warm_ns as f64 / 1e9,
+        warm_scalar_ns as f64 / 1e9
+    );
+    eprintln!(
+        "warm-cache speedup {speedup:.1}x over live, {batch_over_scalar:.1}x over scalar \
+         replay ({:.1} M cycles/s, {:.1} MB/s decoded)",
+        cycles_per_sec / 1e6,
+        bytes_per_sec / 1e6
     );
     let doc = Json::obj([
         ("id", Json::str("alu_sweep_cache")),
         ("live_ns", Json::u64(live_ns)),
         ("cold_ns", Json::u64(cold_ns)),
         ("warm_ns", Json::u64(warm_ns)),
+        ("warm_scalar_ns", Json::u64(warm_scalar_ns)),
         ("speedup_live_over_warm", Json::f64(speedup)),
+        ("speedup_batch_over_scalar", Json::f64(batch_over_scalar)),
+        ("replayed_cycles", Json::u64(replayed_cycles)),
+        ("replayed_bytes", Json::u64(replayed_bytes)),
+        ("cycles_per_sec", Json::f64(cycles_per_sec)),
+        ("decoded_bytes_per_sec", Json::f64(bytes_per_sec)),
         ("bit_identical", Json::Bool(true)),
     ]);
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("alu_sweep_cache.json");
+    std::fs::write(&path, format!("{doc}\n"))?;
+    let trajectory = workspace_root().join("BENCH_sweep.json");
+    std::fs::write(&trajectory, format!("{doc}\n"))?;
+    eprintln!("wrote {}", trajectory.display());
+    Ok(path)
+}
+
+/// The `kernel_stream` harness: time the six checked-in `.asm` kernels
+/// end-to-end through the cached activity-stream path (assemble +
+/// emulate + simulate + record on the cold pass, blockwise replay on the
+/// warm pass), with cycles/sec and decoded-bytes/sec derived fields so
+/// kernel throughput is comparable across machines. Writes
+/// `crates/bench/results/kernel_stream.json`.
+pub fn run_kernel_stream() -> std::io::Result<PathBuf> {
+    use dcg_core::{Dcg, NoGating, TraceCache};
+    use dcg_experiments::{kernel_run_length, KERNEL_SEED};
+    use dcg_sim::{LatchGroups, SimConfig};
+    use dcg_testkit::bench::time;
+    use dcg_workloads::Kernel;
+
+    let sim = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&sim.depth);
+    let length = kernel_run_length();
+    let dir = workspace_root()
+        .join("target")
+        .join("tmp")
+        .join("kernel-stream");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = TraceCache::new(dir);
+
+    let run_cached = |k: &Kernel| {
+        let mut baseline = NoGating::new(&sim, &groups);
+        let mut dcg = Dcg::new(&sim, &groups);
+        cache
+            .run_passive_cached_stream(
+                &sim,
+                k.name,
+                KERNEL_SEED,
+                length,
+                || k.stream(),
+                &mut [&mut baseline, &mut dcg],
+                &mut [],
+            )
+            .expect("kernel stream replays")
+    };
+
+    let mut entries = Vec::new();
+    for k in Kernel::all() {
+        let (cold_run, cold_ns) = time(|| run_cached(&k));
+        let (warm_run, warm_ns) = time(|| run_cached(&k));
+        assert_eq!(
+            format!("{:?}", cold_run.stats),
+            format!("{:?}", warm_run.stats),
+            "{}: warm replay must match the recording run",
+            k.name
+        );
+        let entry = cache.entry_path_for(&sim, k.name, KERNEL_SEED, length);
+        let entry_bytes = std::fs::metadata(&entry).map(|m| m.len()).unwrap_or(0);
+        let trace_cycles = std::fs::read(&entry)
+            .ok()
+            .and_then(|b| dcg_trace::ActivityTraceReader::new(&b[..]).ok())
+            .and_then(|r| r.verified_totals())
+            .map_or(0, |(cycles, _)| cycles);
+        let warm_s = warm_ns.max(1) as f64 / 1e9;
+        eprintln!(
+            "kernel {:<10} cold {:>8.3} ms, warm {:>8.3} ms ({:.1} M cycles/s, {:.1} MB/s)",
+            k.name,
+            cold_ns as f64 / 1e6,
+            warm_ns as f64 / 1e6,
+            trace_cycles as f64 / warm_s / 1e6,
+            entry_bytes as f64 / warm_s / 1e6
+        );
+        entries.push(Json::obj([
+            ("name", Json::str(k.name)),
+            ("cold_ns", Json::u64(cold_ns)),
+            ("warm_ns", Json::u64(warm_ns)),
+            (
+                "speedup_cold_over_warm",
+                Json::f64(cold_ns as f64 / warm_ns.max(1) as f64),
+            ),
+            ("trace_bytes", Json::u64(entry_bytes)),
+            ("trace_cycles", Json::u64(trace_cycles)),
+            ("ipc", Json::f64(warm_run.stats.ipc())),
+            ("cycles_per_sec", Json::f64(trace_cycles as f64 / warm_s)),
+            (
+                "decoded_bytes_per_sec",
+                Json::f64(entry_bytes as f64 / warm_s),
+            ),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("id", Json::str("kernel_stream")),
+        ("kernels", Json::arr(entries)),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("kernel_stream.json");
     std::fs::write(&path, format!("{doc}\n"))?;
     Ok(path)
 }

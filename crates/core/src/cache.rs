@@ -408,6 +408,49 @@ impl TraceCache {
         Ok(run)
     }
 
+    /// Stats-only cached run: [`crate::run_stats_source`] on a hit (the
+    /// blockwise fold — no power model, no policy state), and a recording
+    /// live simulation on a miss so the *next* call hits.
+    ///
+    /// The returned [`dcg_sim::SimStats`] are bit-identical hit or miss:
+    /// the stats counters are integer folds, and the block fold visits
+    /// exactly the cycles the scalar loop would.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceCache::run_passive_cached`] — only a validated entry
+    /// failing mid-replay, which is evicted before the error surfaces.
+    pub fn run_stats_cached_stream<S, F>(
+        &self,
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+        make_stream: F,
+    ) -> Result<dcg_sim::SimStats, DcgError>
+    where
+        S: InstStream,
+        F: FnOnce() -> S,
+    {
+        if let Some(mut replay) = self.replay_source(config, name, seed, length) {
+            match crate::runner::run_stats_source(&mut replay, length) {
+                Ok(stats) => return Ok(stats),
+                Err(e) => {
+                    let path = self.entry_path(name, Self::key(config, name, seed, length));
+                    note_replay_failure(&path, &e);
+                    if path.exists() {
+                        if let Err(io) = fs::remove_file(&path) {
+                            note_evict_failure(&path, &io);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.run_passive_cached_stream(config, name, seed, length, make_stream, &mut [], &mut [])
+            .map(|run| run.stats)
+    }
+
     /// Best-effort atomic store: write to a unique temp file, then rename
     /// into place. Failures never abort the run — caching is an
     /// optimization, not a correctness dependency — but they warn once

@@ -23,6 +23,10 @@
 //! one-hot counts — is charged to [`dcg_power::Component::GatingControl`]
 //! every cycle (paper §4.2: ≈1 % of latch power; the AND gates are
 //! negligible).
+//!
+//! DCG imposes no resource constraints, so it rides the block-replay hot
+//! path (DESIGN §13): a warm-cache sweep feeds the controller through the
+//! per-cycle extract shim, bit-identical to live simulation.
 
 use dcg_isa::FuClass;
 use dcg_power::GateState;

@@ -75,9 +75,9 @@ pub use metrics::{
 pub use plb::{Plb, PlbConfig, PlbMode, PlbVariant};
 pub use policy::{GatingPolicy, NoGating};
 pub use runner::{
-    drive, run_active, run_active_source, run_oracle, run_oracle_source, run_passive,
-    run_passive_source, run_passive_with_sinks, run_wattch_styles, run_wattch_styles_source,
-    GatingAudit, PassiveRun, PolicyOutcome, RunLength, WattchStyles,
+    drive, drive_batch, run_active, run_active_source, run_oracle, run_oracle_source, run_passive,
+    run_passive_source, run_passive_with_sinks, run_stats_source, run_wattch_styles,
+    run_wattch_styles_source, GatingAudit, PassiveRun, PolicyOutcome, RunLength, WattchStyles,
 };
 pub use safety::{GatingSafetyChecker, Hazard, HazardClass, SafetyConfig, SafetyReport};
 pub use sinks::{ActivitySink, MetricsSink};

@@ -11,6 +11,12 @@
 //!
 //! Triggers (per §4.3): issue IPC is the primary trigger; FP issue IPC and
 //! mode history are secondary triggers that suppress spurious transitions.
+//!
+//! Because PLB's mode changes *constrain* resources (disabled FUs and
+//! issue slots perturb timing), it can never replay a recorded trace:
+//! [`crate::drive`] sees its constraints and keeps the scalar live-source
+//! loop instead of the block path (DESIGN §13), and `run_active` always
+//! simulates live.
 
 use dcg_isa::FuClass;
 use dcg_power::GateState;

@@ -18,6 +18,12 @@ use dcg_sim::{CycleActivity, LatchGroups, ResourceConstraints, SimConfig};
 /// 4. [`GatingPolicy::observe`] — the policy sees cycle `X`'s activity
 ///    (GRANT signals, one-hot issued count, scheduled stores, booked
 ///    buses) and updates its internal pipelined control state.
+///
+/// Policies are per-cycle by contract. On the block-replay hot path
+/// (DESIGN §13) the driver decodes [`dcg_sim::ActivityBlock`]s, and the
+/// policy sink's span shim extracts each lane back into a
+/// [`CycleActivity`] before calling this protocol — so a policy never
+/// sees blocks and observes the identical call sequence on either path.
 pub trait GatingPolicy {
     /// Gate state for cycle `cycle`, decided ahead of its execution.
     fn gate_for(&mut self, cycle: u64) -> GateState;

@@ -138,6 +138,12 @@ pub struct PassiveRun {
 /// polled each cycle; the constraints are forwarded to the source, which
 /// must be a live simulation.
 ///
+/// When every sink is unconstrained and the source supports blocks (a
+/// [`crate::ReplaySource`]), the loop instead pulls whole
+/// [`dcg_sim::ActivityBlock`]s and fans out spans — each sink still
+/// observes exactly the per-cycle call sequence of the scalar loop, so
+/// results are bit-identical either way.
+///
 /// # Errors
 ///
 /// Propagates the first [`ActivitySource::next_cycle`] failure (replayed
@@ -147,6 +153,12 @@ pub fn drive(
     sinks: &mut [&mut dyn ActivitySink],
     length: RunLength,
 ) -> Result<(), DcgError> {
+    // Active policies publish constraints from construction onward, so a
+    // single poll up front decides the path; a passive fan-out never
+    // turns constraints on mid-run.
+    if source.supports_blocks() && sinks.iter_mut().all(|s| s.constraints().is_none()) {
+        return drive_blocks(source, sinks, length);
+    }
     let warm = length.warmup_insts;
     let target = warm + length.measure_insts;
     let mut measuring = false;
@@ -181,6 +193,122 @@ pub fn drive(
         }
     }
     Ok(())
+}
+
+/// Block-granular twin of the scalar [`drive`] loop.
+///
+/// Cycle `i` of a block is observed iff the committed total *before* it
+/// is below the target, and measured iff that same total is at or past
+/// the warm-up boundary — exactly the scalar loop's top-of-iteration
+/// checks. Cycles decoded past the stop point are discarded unobserved,
+/// which is sound because the source is dropped with the run.
+fn drive_blocks(
+    source: &mut dyn ActivitySource,
+    sinks: &mut [&mut dyn ActivitySink],
+    length: RunLength,
+) -> Result<(), DcgError> {
+    let warm = length.warmup_insts;
+    let target = warm + length.measure_insts;
+    let mut measuring = false;
+    while source.committed() < target {
+        if !measuring && source.committed() >= warm {
+            measuring = true;
+            for s in sinks.iter_mut() {
+                s.begin_measure();
+            }
+        }
+        let was_measuring = measuring;
+        let mut committed = source.committed();
+        let block = source.next_block()?;
+        let len = block.len();
+        // `begin` is the first measured cycle index; `stop` is one past
+        // the last observed cycle.
+        let mut begin = if was_measuring { 0 } else { len };
+        let mut stop = len;
+        for i in 0..len {
+            if !measuring && committed >= warm {
+                measuring = true;
+                begin = i;
+            }
+            committed += u64::from(block.committed[i]);
+            if committed >= target {
+                stop = i + 1;
+                break;
+            }
+        }
+        let warm_end = begin.min(stop);
+        if warm_end > 0 {
+            for s in sinks.iter_mut() {
+                s.warmup_span(block, 0, warm_end);
+            }
+        }
+        if measuring && !was_measuring {
+            for s in sinks.iter_mut() {
+                s.begin_measure();
+            }
+        }
+        if begin < stop {
+            for s in sinks.iter_mut() {
+                s.measure_span(block, begin, stop);
+            }
+        }
+    }
+    if !measuring {
+        for s in sinks.iter_mut() {
+            s.begin_measure();
+        }
+    }
+    Ok(())
+}
+
+/// Advance several sink *lanes* in lockstep over one activity source —
+/// the batched sweep driver.
+///
+/// Each lane is one logical configuration's sink set (e.g. one policy
+/// fan-out per sweep point). All lanes share a single pass over `source`:
+/// with a block-capable source every block is decoded **once** and fanned
+/// to every lane, which is what makes a K-configuration warm-cache sweep
+/// cost one decode instead of K. Lanes must all be passive (no sink may
+/// publish constraints) when the source is a replay; per-lane results are
+/// read back from the sinks the caller still owns.
+///
+/// Equivalent to driving each lane separately: every sink observes the
+/// identical warm-up/measure call sequence either way.
+///
+/// # Errors
+///
+/// As [`drive`].
+pub fn drive_batch(
+    source: &mut dyn ActivitySource,
+    lanes: &mut [Vec<&mut dyn ActivitySink>],
+    length: RunLength,
+) -> Result<(), DcgError> {
+    let mut flat: Vec<&mut dyn ActivitySink> = Vec::with_capacity(lanes.iter().map(Vec::len).sum());
+    for lane in lanes.iter_mut() {
+        for s in lane.iter_mut() {
+            flat.push(&mut **s);
+        }
+    }
+    drive(source, &mut flat, length)
+}
+
+/// Collect only the measured-window [`SimStats`] from `source` — the
+/// cheapest possible consumer (no power model, no policy state).
+///
+/// On a block-capable source this folds whole decoded blocks into the
+/// counters without materializing per-cycle records, which is what a
+/// stats-only sweep point (e.g. an IPC table) should use.
+///
+/// # Errors
+///
+/// As [`run_passive_source`].
+pub fn run_stats_source(
+    source: &mut dyn ActivitySource,
+    length: RunLength,
+) -> Result<SimStats, DcgError> {
+    let mut stats = StatsSink::new();
+    drive(source, &mut [&mut stats], length)?;
+    Ok(stats.into_stats())
 }
 
 /// Run `stream` on `config` evaluating several **passive** policies (and

@@ -12,7 +12,10 @@
 //!
 //! On a fault-free run the checker is a pure observer — it alters
 //! nothing, reports all zeros, and every downstream number is
-//! bit-identical to a run without it.
+//! bit-identical to a run without it. The invariant is inherently
+//! per-cycle (gate state vs that cycle's consumption), so on the
+//! block-replay path (DESIGN §13) the policy sink's extract shim feeds
+//! the checker lane by lane — same semantics, same hazards, either path.
 
 use dcg_isa::FuClass;
 use dcg_power::GateState;

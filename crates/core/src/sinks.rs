@@ -11,7 +11,9 @@ use std::io::Write;
 
 use dcg_isa::FuClass;
 use dcg_power::{GateState, PowerModel, PowerReport};
-use dcg_sim::{CycleActivity, LatchGroups, ResourceConstraints, SimConfig, SimStats};
+use dcg_sim::{
+    ActivityBlock, CycleActivity, LatchGroups, ResourceConstraints, SimConfig, SimStats,
+};
 use dcg_trace::{ActivityTraceWriter, TraceError};
 
 use crate::metrics::{
@@ -45,6 +47,35 @@ pub trait ActivitySink {
     fn constraints(&self) -> Option<ResourceConstraints> {
         None
     }
+
+    /// Observe warm-up cycles `from..to` of a decoded block.
+    ///
+    /// The default is the per-cycle compatibility shim: extract each
+    /// column and forward it to
+    /// [`warmup_cycle`](ActivitySink::warmup_cycle), preserving the exact
+    /// scalar call sequence. Sinks with a vectorized fold (or nothing to
+    /// do during warm-up) override this.
+    fn warmup_span(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        let mut act = CycleActivity::default();
+        for i in from..to {
+            block.extract(i, &mut act);
+            self.warmup_cycle(&act);
+        }
+    }
+
+    /// Observe and account measured cycles `from..to` of a decoded block.
+    ///
+    /// Same shim contract as [`warmup_span`](ActivitySink::warmup_span):
+    /// the default forwards column-by-column to
+    /// [`measure_cycle`](ActivitySink::measure_cycle), so any sink is
+    /// automatically block-capable and bit-identical to the scalar path.
+    fn measure_span(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        let mut act = CycleActivity::default();
+        for i in from..to {
+            block.extract(i, &mut act);
+            self.measure_cycle(&act);
+        }
+    }
 }
 
 /// Evaluates one gating policy: per-cycle gate state, safety audit and
@@ -68,6 +99,9 @@ pub(crate) struct PolicySink<'a> {
     /// Scratch gate state reused across cycles (see
     /// [`GatingPolicy::gate_into`]).
     gate: GateState,
+    /// Scratch activity reused across block spans (the per-cycle shim
+    /// with a persistent buffer instead of a per-block allocation).
+    scratch: CycleActivity,
 }
 
 impl<'a> PolicySink<'a> {
@@ -90,6 +124,7 @@ impl<'a> PolicySink<'a> {
             report: PowerReport::new(),
             audit: GatingAudit::default(),
             gate,
+            scratch: CycleActivity::default(),
         }
     }
 
@@ -135,6 +170,28 @@ impl ActivitySink for PolicySink<'_> {
 
     fn constraints(&self) -> Option<ResourceConstraints> {
         self.constrain.then(|| self.policy.constraints())
+    }
+
+    // Gating decisions, the safety screen and the energy fold are stateful
+    // and order-sensitive (f64 accumulation), so the block spans replay
+    // the scalar sequence exactly — the win is the shared block decode,
+    // not a reordered fold.
+    fn warmup_span(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        let mut act = std::mem::take(&mut self.scratch);
+        for i in from..to {
+            block.extract(i, &mut act);
+            self.warmup_cycle(&act);
+        }
+        self.scratch = act;
+    }
+
+    fn measure_span(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        let mut act = std::mem::take(&mut self.scratch);
+        for i in from..to {
+            block.extract(i, &mut act);
+            self.measure_cycle(&act);
+        }
+        self.scratch = act;
     }
 }
 
@@ -189,6 +246,9 @@ impl ActivitySink for OracleSink<'_> {
         self.report
             .record(&self.model.cycle_energy(act, &gate), act.committed);
     }
+
+    // Nothing accumulates during warm-up, so skip the shim's extraction.
+    fn warmup_span(&mut self, _block: &ActivityBlock, _from: usize, _to: usize) {}
 }
 
 /// Wattch `cc0`/`cc1`/`cc2` reference accounting (see
@@ -272,6 +332,9 @@ impl ActivitySink for WattchSink<'_> {
         self.cc2
             .record(&self.model.cycle_energy(act, &g2), act.committed);
     }
+
+    // Nothing accumulates during warm-up, so skip the shim's extraction.
+    fn warmup_span(&mut self, _block: &ActivityBlock, _from: usize, _to: usize) {}
 }
 
 /// FU classes whose power is accounted per instance (memory ports are
@@ -309,6 +372,8 @@ pub struct MetricsSink<'a> {
     report: MetricsReport,
     /// The currently accumulating (not yet flushed) window.
     win: WindowSample,
+    /// Scratch activity reused across block spans.
+    scratch: CycleActivity,
 }
 
 impl<'a> MetricsSink<'a> {
@@ -382,6 +447,7 @@ impl<'a> MetricsSink<'a> {
             issue_width,
             report,
             win: WindowSample::empty(0),
+            scratch: CycleActivity::default(),
         }
     }
 
@@ -550,6 +616,27 @@ impl ActivitySink for MetricsSink<'_> {
 
         self.policy.observe(act);
     }
+
+    // Histogram updates, window flushes and the disagreement audit are
+    // order-sensitive, so the block spans replay the scalar sequence with
+    // a persistent scratch buffer.
+    fn warmup_span(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        let mut act = std::mem::take(&mut self.scratch);
+        for i in from..to {
+            block.extract(i, &mut act);
+            self.warmup_cycle(&act);
+        }
+        self.scratch = act;
+    }
+
+    fn measure_span(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        let mut act = std::mem::take(&mut self.scratch);
+        for i in from..to {
+            block.extract(i, &mut act);
+            self.measure_cycle(&act);
+        }
+        self.scratch = act;
+    }
 }
 
 /// Accumulates [`SimStats`] over the measured window.
@@ -575,6 +662,14 @@ impl StatsSink {
 impl ActivitySink for StatsSink {
     fn measure_cycle(&mut self, act: &CycleActivity) {
         self.stats.record(act);
+    }
+
+    // Statistics are integer folds, so the column-wise block fold is
+    // exactly the scalar fold — no per-cycle extraction needed.
+    fn warmup_span(&mut self, _block: &ActivityBlock, _from: usize, _to: usize) {}
+
+    fn measure_span(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        self.stats.record_block(block, from, to);
     }
 }
 

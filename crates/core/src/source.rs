@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use dcg_sim::{CycleActivity, Processor, ResourceConstraints};
+use dcg_sim::{ActivityBlock, CycleActivity, Processor, ResourceConstraints};
 use dcg_trace::{ActivityHeader, ActivityTraceReader};
 use dcg_workloads::InstStream;
 
@@ -54,6 +54,29 @@ pub trait ActivitySource {
     /// Panics if the source does not support constraints (see
     /// [`ActivitySource::supports_constraints`]).
     fn apply_constraints(&mut self, constraints: ResourceConstraints);
+
+    /// `true` if this source can hand out whole decoded
+    /// [`ActivityBlock`]s (the struct-of-arrays hot path). Sources that
+    /// produce cycles one at a time (live simulations) report `false`
+    /// and are driven through the per-cycle shim instead.
+    fn supports_blocks(&self) -> bool {
+        false
+    }
+
+    /// Produce the next block of consecutive cycles (up to
+    /// [`dcg_sim::BLOCK_CYCLES`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ActivitySource::next_cycle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not support blocks (see
+    /// [`ActivitySource::supports_blocks`]).
+    fn next_block(&mut self) -> Result<&ActivityBlock, DcgError> {
+        panic!("this activity source does not produce blocks");
+    }
 }
 
 impl<S: InstStream> ActivitySource for Processor<S> {
@@ -86,15 +109,18 @@ impl<S: InstStream> ActivitySource for Processor<S> {
 pub struct ReplaySource {
     reader: ActivityTraceReader,
     act: CycleActivity,
+    block: Box<ActivityBlock>,
 }
 
 impl ReplaySource {
     /// Wrap an open activity-trace reader, rewound to the first record.
     pub fn new(mut reader: ActivityTraceReader) -> ReplaySource {
         reader.rewind();
+        let groups = reader.header().groups as usize;
         ReplaySource {
             reader,
             act: CycleActivity::default(),
+            block: Box::new(ActivityBlock::new(groups)),
         }
     }
 
@@ -149,6 +175,27 @@ impl ActivitySource for ReplaySource {
             "replayed activity cannot honor resource constraints; \
              active policies need a live simulation run"
         );
+    }
+
+    fn supports_blocks(&self) -> bool {
+        true
+    }
+
+    fn next_block(&mut self) -> Result<&ActivityBlock, DcgError> {
+        match self.reader.read_block(&mut self.block) {
+            Ok(true) => Ok(&self.block),
+            Ok(false) => Err(DcgError::ReplayExhausted {
+                name: self.reader.header().name.clone(),
+                cycles: self.reader.cycles_read(),
+                committed: self.reader.committed(),
+                wanted: self.reader.header().warmup_insts + self.reader.header().measure_insts,
+            }),
+            Err(e) => Err(DcgError::ReplayCorrupt {
+                name: self.reader.header().name.clone(),
+                cycle: self.reader.cycles_read() + 1,
+                source: e,
+            }),
+        }
     }
 }
 
@@ -208,6 +255,33 @@ mod tests {
             }
             other => panic!("expected ReplayExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn replay_blocks_match_scalar_replay() {
+        let bytes = recorded(150);
+        let mut scalar = ReplaySource::new(ActivityTraceReader::new(&bytes[..]).expect("reader"));
+        let mut blocked = ReplaySource::new(ActivityTraceReader::new(&bytes[..]).expect("reader"));
+        assert!(blocked.supports_blocks());
+        assert!(scalar.next_cycle().is_ok());
+        let mut scalar = ReplaySource::new(ActivityTraceReader::new(&bytes[..]).expect("reader"));
+        let mut got = CycleActivity::default();
+        let mut seen = 0usize;
+        while seen < 150 {
+            let block = blocked.next_block().expect("block").clone();
+            for i in 0..block.len() {
+                let want = scalar.next_cycle().expect("cycle").clone();
+                block.extract(i, &mut got);
+                assert_eq!(got, want, "cycle {}", want.cycle);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 150);
+        assert_eq!(blocked.committed(), scalar.committed());
+        assert!(matches!(
+            blocked.next_block(),
+            Err(DcgError::ReplayExhausted { .. })
+        ));
     }
 
     #[test]

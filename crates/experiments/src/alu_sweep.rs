@@ -38,18 +38,22 @@ fn ipc_with_alus(
             &mut [&mut *policy],
         )
     };
-    let run = match cache {
+    let stats = match cache {
+        // Only the IPC is needed, so the cached path folds decoded blocks
+        // straight into SimStats — no power model, no policy state.
         Some(c) => c
-            .run_passive_cached(&cfg, profile, seed, length, &mut [&mut policy])
+            .run_stats_cached_stream(&cfg, profile.name, seed, length, || {
+                SyntheticWorkload::new(profile, seed)
+            })
             .unwrap_or_else(|e| {
                 // Fail open: the entry has been evicted; rebuild the
                 // policy and simulate live.
                 eprintln!("warning: {name}: cached replay failed ({e}); re-simulating live");
-                live(&mut NoGating::new(&cfg, &groups))
+                live(&mut NoGating::new(&cfg, &groups)).stats
             }),
-        None => live(&mut policy),
+        None => live(&mut policy).stats,
     };
-    run.stats.ipc()
+    stats.ipc()
 }
 
 /// Run the §4.4 sweep over the integer benchmarks in `cfg`, using the

@@ -319,6 +319,356 @@ impl CycleActivity {
     }
 }
 
+/// Cycles per [`ActivityBlock`] (and per on-disk trace block).
+///
+/// Chosen to match the lane width of `u64` masks: bit *i* of a lane mask
+/// refers to cycle `first_cycle + i` of the block, so "any cycle in this
+/// block touched X" is a single mask test and "how many cycles" is one
+/// popcount.
+pub const BLOCK_CYCLES: usize = 64;
+
+/// Struct-of-arrays batch of up to [`BLOCK_CYCLES`] consecutive
+/// [`CycleActivity`] records.
+///
+/// This is the hot-path representation behind the per-cycle
+/// [`CycleActivity`] interface: the trace reader decodes straight into a
+/// block, statistics fold over whole columns, and boolean per-cycle facts
+/// (I-cache touched, any FU of a class busy, any D-cache port firing, any
+/// result bus driven, latch group occupied) are packed as `u64` *lane
+/// masks* where bit `i` stands for cycle index `i` within the block.
+///
+/// Invariants (maintained by [`push`](ActivityBlock::push), relied on by
+/// [`extract`](ActivityBlock::extract)):
+///
+/// * column `i` of every array describes cycle `first_cycle + i`, valid
+///   for `i < len`;
+/// * `latch_occupancy` is cycle-major: cycle `i`, group `g` lives at
+///   `i * groups + g`;
+/// * `grants` is flat; cycle `i`'s grants are
+///   `grants[grant_end[i-1]..grant_end[i]]` (`0` for the lower bound at
+///   `i == 0`);
+/// * the lane masks and per-class `fu_any` summaries agree with the
+///   columns they summarize.
+///
+/// A round-trip through `push` + `extract` reproduces the original
+/// [`CycleActivity`] exactly (covered by a property suite), which is what
+/// lets the block path claim bit-identity with the scalar path.
+#[derive(Debug, Clone)]
+pub struct ActivityBlock {
+    /// Cycle number of column 0.
+    pub first_cycle: u64,
+    /// Valid columns (`<= BLOCK_CYCLES`).
+    pub len: usize,
+    /// Latch groups per cycle (row width of `latch_occupancy`).
+    pub groups: usize,
+    // ---- flows ----
+    /// Instructions fetched per cycle.
+    pub fetched: [u32; BLOCK_CYCLES],
+    /// Instructions entering rename per cycle.
+    pub renamed: [u32; BLOCK_CYCLES],
+    /// Instructions dispatched per cycle.
+    pub dispatched: [u32; BLOCK_CYCLES],
+    /// Instructions issued per cycle.
+    pub issued: [u32; BLOCK_CYCLES],
+    /// Issued FP operations per cycle.
+    pub issued_fp: [u32; BLOCK_CYCLES],
+    /// Issued loads per cycle.
+    pub issued_loads: [u32; BLOCK_CYCLES],
+    /// Issued stores per cycle.
+    pub issued_stores: [u32; BLOCK_CYCLES],
+    /// Instructions committed per cycle.
+    pub committed: [u32; BLOCK_CYCLES],
+    // ---- usage ----
+    /// Per-class busy masks, indexed by [`FuClass::index`] then cycle.
+    pub fu_active: [[u32; BLOCK_CYCLES]; FuClass::COUNT],
+    /// Lane mask per unit class: bit `i` set iff any instance of the class
+    /// was active at cycle `i`.
+    pub fu_any: [u64; FuClass::COUNT],
+    /// D-cache port mask per cycle.
+    pub dcache_port_mask: [u32; BLOCK_CYCLES],
+    /// Lane mask: bit `i` set iff any D-cache port fired at cycle `i`.
+    pub port_any: u64,
+    /// Loads accessing the D-cache per cycle.
+    pub dcache_load_accesses: [u32; BLOCK_CYCLES],
+    /// Stores accessing the D-cache per cycle.
+    pub dcache_store_accesses: [u32; BLOCK_CYCLES],
+    /// D-cache misses per cycle.
+    pub dcache_misses: [u32; BLOCK_CYCLES],
+    /// L2 accesses per cycle.
+    pub l2_accesses: [u32; BLOCK_CYCLES],
+    /// Lane mask: bit `i` set iff the I-cache was probed at cycle `i`.
+    pub icache_access_lanes: u64,
+    /// Lane mask: bit `i` set iff the I-cache probe missed at cycle `i`.
+    pub icache_miss_lanes: u64,
+    /// Branch-predictor lookups per cycle.
+    pub bpred_lookups: [u32; BLOCK_CYCLES],
+    /// Branch mispredictions per cycle.
+    pub bpred_mispredicts: [u32; BLOCK_CYCLES],
+    /// Register-file read ports used per cycle.
+    pub regfile_reads: [u32; BLOCK_CYCLES],
+    /// Register-file write ports used per cycle.
+    pub regfile_writes: [u32; BLOCK_CYCLES],
+    /// Result buses driven per cycle.
+    pub result_bus_used: [u32; BLOCK_CYCLES],
+    /// Lane mask: bit `i` set iff any result bus was driven at cycle `i`.
+    pub bus_any: u64,
+    /// Cycle-major latch occupancy (`len * groups` entries).
+    pub latch_occupancy: Vec<u32>,
+    /// Lane mask per latch group: bit `i` set iff the group had any slot
+    /// written at cycle `i` (`groups` entries).
+    pub latch_any: Vec<u64>,
+    /// Flat grant list for the whole block.
+    pub grants: Vec<FuGrant>,
+    /// Exclusive end index into `grants` for each cycle.
+    pub grant_end: [u32; BLOCK_CYCLES],
+    // ---- advance knowledge ----
+    /// Decode-ready count per cycle.
+    pub decode_ready_next: [u32; BLOCK_CYCLES],
+    /// Issue-queue occupancy per cycle.
+    pub iq_occupancy: [u32; BLOCK_CYCLES],
+    /// Reorder-buffer occupancy per cycle.
+    pub rob_occupancy: [u32; BLOCK_CYCLES],
+    /// Load/store-queue occupancy per cycle.
+    pub lsq_occupancy: [u32; BLOCK_CYCLES],
+    /// Stores scheduled for the next cycle, per cycle.
+    pub store_ports_next: [u32; BLOCK_CYCLES],
+    /// Result buses booked two cycles ahead, per cycle.
+    pub result_bus_in_2: [u32; BLOCK_CYCLES],
+}
+
+impl ActivityBlock {
+    /// Empty block for traces with `groups` latch groups per cycle.
+    pub fn new(groups: usize) -> ActivityBlock {
+        ActivityBlock {
+            first_cycle: 0,
+            len: 0,
+            groups,
+            fetched: [0; BLOCK_CYCLES],
+            renamed: [0; BLOCK_CYCLES],
+            dispatched: [0; BLOCK_CYCLES],
+            issued: [0; BLOCK_CYCLES],
+            issued_fp: [0; BLOCK_CYCLES],
+            issued_loads: [0; BLOCK_CYCLES],
+            issued_stores: [0; BLOCK_CYCLES],
+            committed: [0; BLOCK_CYCLES],
+            fu_active: [[0; BLOCK_CYCLES]; FuClass::COUNT],
+            fu_any: [0; FuClass::COUNT],
+            dcache_port_mask: [0; BLOCK_CYCLES],
+            port_any: 0,
+            dcache_load_accesses: [0; BLOCK_CYCLES],
+            dcache_store_accesses: [0; BLOCK_CYCLES],
+            dcache_misses: [0; BLOCK_CYCLES],
+            l2_accesses: [0; BLOCK_CYCLES],
+            icache_access_lanes: 0,
+            icache_miss_lanes: 0,
+            bpred_lookups: [0; BLOCK_CYCLES],
+            bpred_mispredicts: [0; BLOCK_CYCLES],
+            regfile_reads: [0; BLOCK_CYCLES],
+            regfile_writes: [0; BLOCK_CYCLES],
+            result_bus_used: [0; BLOCK_CYCLES],
+            bus_any: 0,
+            latch_occupancy: Vec::with_capacity(BLOCK_CYCLES * groups),
+            latch_any: vec![0; groups],
+            grants: Vec::new(),
+            grant_end: [0; BLOCK_CYCLES],
+            decode_ready_next: [0; BLOCK_CYCLES],
+            iq_occupancy: [0; BLOCK_CYCLES],
+            rob_occupancy: [0; BLOCK_CYCLES],
+            lsq_occupancy: [0; BLOCK_CYCLES],
+            store_ports_next: [0; BLOCK_CYCLES],
+            result_bus_in_2: [0; BLOCK_CYCLES],
+        }
+    }
+
+    /// Reset for reuse (keeps allocations); column 0 will be `first_cycle`.
+    pub fn clear(&mut self, first_cycle: u64) {
+        self.first_cycle = first_cycle;
+        self.len = 0;
+        self.fu_any = [0; FuClass::COUNT];
+        self.port_any = 0;
+        self.bus_any = 0;
+        self.icache_access_lanes = 0;
+        self.icache_miss_lanes = 0;
+        self.latch_occupancy.clear();
+        self.latch_any.iter_mut().for_each(|m| *m = 0);
+        self.grants.clear();
+    }
+
+    /// Valid columns.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no cycles have been pushed since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cycle number of column `i`.
+    pub fn cycle(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        self.first_cycle + i as u64
+    }
+
+    /// Lane mask with bits `from..to` set (the screen/summary masks are
+    /// ANDed with this to restrict a query to a sub-span of the block).
+    pub fn lane_range(from: usize, to: usize) -> u64 {
+        debug_assert!(from <= to && to <= BLOCK_CYCLES);
+        let hi = if to == BLOCK_CYCLES {
+            u64::MAX
+        } else {
+            (1u64 << to) - 1
+        };
+        let lo = if from == BLOCK_CYCLES {
+            u64::MAX
+        } else {
+            (1u64 << from) - 1
+        };
+        hi & !lo
+    }
+
+    /// Latch occupancies of cycle `i` (one entry per group).
+    pub fn latches(&self, i: usize) -> &[u32] {
+        debug_assert!(i < self.len);
+        &self.latch_occupancy[i * self.groups..(i + 1) * self.groups]
+    }
+
+    /// Grants made at cycle `i`.
+    pub fn grants_at(&self, i: usize) -> &[FuGrant] {
+        debug_assert!(i < self.len);
+        let lo = if i == 0 {
+            0
+        } else {
+            self.grant_end[i - 1] as usize
+        };
+        &self.grants[lo..self.grant_end[i] as usize]
+    }
+
+    /// Append one cycle (must be the next consecutive cycle, with
+    /// `groups` latch entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is full or `act` does not continue the block.
+    pub fn push(&mut self, act: &CycleActivity) {
+        if self.len == 0 {
+            self.first_cycle = act.cycle;
+        }
+        assert_eq!(
+            act.cycle,
+            self.first_cycle + self.len as u64,
+            "non-consecutive cycle pushed into ActivityBlock"
+        );
+        self.push_untimed(act);
+    }
+
+    /// Append one cycle ignoring `act.cycle` — lane numbers stay implicit
+    /// (`first_cycle + index`). The trace writer stages records through
+    /// this: on-disk cycle numbers are reconstructed by counting, so the
+    /// record's own `cycle` field never constrains the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is full or the latch group count mismatches.
+    pub fn push_untimed(&mut self, act: &CycleActivity) {
+        assert!(self.len < BLOCK_CYCLES, "ActivityBlock overflow");
+        assert_eq!(act.latch_occupancy.len(), self.groups, "latch group count");
+        let i = self.len;
+        let bit = 1u64 << i;
+        self.fetched[i] = act.fetched;
+        self.renamed[i] = act.renamed;
+        self.dispatched[i] = act.dispatched;
+        self.issued[i] = act.issued;
+        self.issued_fp[i] = act.issued_fp;
+        self.issued_loads[i] = act.issued_loads;
+        self.issued_stores[i] = act.issued_stores;
+        self.committed[i] = act.committed;
+        for c in 0..FuClass::COUNT {
+            let m = act.fu_active[c];
+            self.fu_active[c][i] = m;
+            if m != 0 {
+                self.fu_any[c] |= bit;
+            }
+        }
+        self.dcache_port_mask[i] = act.dcache_port_mask;
+        if act.dcache_port_mask != 0 {
+            self.port_any |= bit;
+        }
+        self.dcache_load_accesses[i] = act.dcache_load_accesses;
+        self.dcache_store_accesses[i] = act.dcache_store_accesses;
+        self.dcache_misses[i] = act.dcache_misses;
+        self.l2_accesses[i] = act.l2_accesses;
+        if act.icache_access {
+            self.icache_access_lanes |= bit;
+        }
+        if act.icache_miss {
+            self.icache_miss_lanes |= bit;
+        }
+        self.bpred_lookups[i] = act.bpred_lookups;
+        self.bpred_mispredicts[i] = act.bpred_mispredicts;
+        self.regfile_reads[i] = act.regfile_reads;
+        self.regfile_writes[i] = act.regfile_writes;
+        self.result_bus_used[i] = act.result_bus_used;
+        if act.result_bus_used != 0 {
+            self.bus_any |= bit;
+        }
+        self.latch_occupancy.extend_from_slice(&act.latch_occupancy);
+        for (g, &occ) in act.latch_occupancy.iter().enumerate() {
+            if occ != 0 {
+                self.latch_any[g] |= bit;
+            }
+        }
+        self.grants.extend_from_slice(&act.grants);
+        self.grant_end[i] = self.grants.len() as u32;
+        self.decode_ready_next[i] = act.decode_ready_next;
+        self.iq_occupancy[i] = act.iq_occupancy;
+        self.rob_occupancy[i] = act.rob_occupancy;
+        self.lsq_occupancy[i] = act.lsq_occupancy;
+        self.store_ports_next[i] = act.store_ports_next;
+        self.result_bus_in_2[i] = act.result_bus_in_2;
+        self.len = i + 1;
+    }
+
+    /// Reconstruct column `i` as a [`CycleActivity`] (exact inverse of
+    /// [`push`](ActivityBlock::push); reuses `out`'s allocations).
+    pub fn extract(&self, i: usize, out: &mut CycleActivity) {
+        debug_assert!(i < self.len, "extract past block length");
+        out.reset(self.first_cycle + i as u64);
+        out.fetched = self.fetched[i];
+        out.renamed = self.renamed[i];
+        out.dispatched = self.dispatched[i];
+        out.issued = self.issued[i];
+        out.issued_fp = self.issued_fp[i];
+        out.issued_loads = self.issued_loads[i];
+        out.issued_stores = self.issued_stores[i];
+        out.committed = self.committed[i];
+        for c in 0..FuClass::COUNT {
+            out.fu_active[c] = self.fu_active[c][i];
+        }
+        out.dcache_port_mask = self.dcache_port_mask[i];
+        out.dcache_load_accesses = self.dcache_load_accesses[i];
+        out.dcache_store_accesses = self.dcache_store_accesses[i];
+        out.dcache_misses = self.dcache_misses[i];
+        out.l2_accesses = self.l2_accesses[i];
+        let bit = 1u64 << i;
+        out.icache_access = self.icache_access_lanes & bit != 0;
+        out.icache_miss = self.icache_miss_lanes & bit != 0;
+        out.bpred_lookups = self.bpred_lookups[i];
+        out.bpred_mispredicts = self.bpred_mispredicts[i];
+        out.regfile_reads = self.regfile_reads[i];
+        out.regfile_writes = self.regfile_writes[i];
+        out.result_bus_used = self.result_bus_used[i];
+        out.latch_occupancy.extend_from_slice(self.latches(i));
+        out.grants.extend_from_slice(self.grants_at(i));
+        out.decode_ready_next = self.decode_ready_next[i];
+        out.iq_occupancy = self.iq_occupancy[i];
+        out.rob_occupancy = self.rob_occupancy[i];
+        out.lsq_occupancy = self.lsq_occupancy[i];
+        out.store_ports_next = self.store_ports_next[i];
+        out.result_bus_in_2 = self.result_bus_in_2[i];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +756,89 @@ mod tests {
         // Burst has drained past writeback.
         groups.occupancies(&h, &mut occ);
         assert!(occ[4..].iter().all(|&o| o == 0));
+    }
+
+    fn sample_activity(cycle: u64, groups: usize) -> CycleActivity {
+        let mut a = CycleActivity {
+            cycle,
+            fetched: 3,
+            renamed: 2,
+            issued: 4,
+            committed: (cycle % 5) as u32,
+            dcache_port_mask: if cycle.is_multiple_of(2) { 0b11 } else { 0 },
+            icache_access: cycle.is_multiple_of(3),
+            icache_miss: cycle.is_multiple_of(7),
+            result_bus_used: (cycle % 3) as u32,
+            ..CycleActivity::default()
+        };
+        a.fu_active[FuClass::IntAlu.index()] = (cycle as u32) & 0xf;
+        a.latch_occupancy = (0..groups)
+            .map(|g| ((cycle as usize + g) % 4) as u32)
+            .collect();
+        if cycle.is_multiple_of(4) {
+            a.grants.push(FuGrant {
+                class: FuClass::FpAlu,
+                instance: (cycle % 2) as usize,
+                exec_start: 2,
+                active_len: 3,
+            });
+        }
+        a
+    }
+
+    #[test]
+    fn block_push_extract_round_trips() {
+        let groups = 8;
+        let mut block = ActivityBlock::new(groups);
+        let acts: Vec<CycleActivity> = (1..=BLOCK_CYCLES as u64)
+            .map(|c| sample_activity(c, groups))
+            .collect();
+        for a in &acts {
+            block.push(a);
+        }
+        assert_eq!(block.len(), BLOCK_CYCLES);
+        let mut out = CycleActivity::default();
+        for (i, a) in acts.iter().enumerate() {
+            block.extract(i, &mut out);
+            assert_eq!(&out, a, "cycle {}", a.cycle);
+        }
+        // Lane masks agree with the columns they summarize.
+        for (i, a) in acts.iter().enumerate() {
+            let bit = 1u64 << i;
+            assert_eq!(block.port_any & bit != 0, block.dcache_port_mask[i] != 0);
+            assert_eq!(block.bus_any & bit != 0, block.result_bus_used[i] != 0);
+            assert_eq!(block.icache_access_lanes & bit != 0, a.icache_access);
+            for c in 0..FuClass::COUNT {
+                assert_eq!(block.fu_any[c] & bit != 0, block.fu_active[c][i] != 0);
+            }
+            for g in 0..groups {
+                assert_eq!(block.latch_any[g] & bit != 0, block.latches(i)[g] != 0);
+            }
+        }
+        // Clear keeps allocations but resets summaries.
+        block.clear(100);
+        assert!(block.is_empty());
+        assert_eq!(block.port_any, 0);
+        assert!(block.latch_any.iter().all(|&m| m == 0));
+        block.push(&sample_activity(100, groups));
+        assert_eq!(block.cycle(0), 100);
+    }
+
+    #[test]
+    fn lane_range_masks() {
+        assert_eq!(ActivityBlock::lane_range(0, 64), u64::MAX);
+        assert_eq!(ActivityBlock::lane_range(0, 0), 0);
+        assert_eq!(ActivityBlock::lane_range(64, 64), 0);
+        assert_eq!(ActivityBlock::lane_range(1, 3), 0b110);
+        assert_eq!(ActivityBlock::lane_range(63, 64), 1 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-consecutive")]
+    fn block_rejects_cycle_gaps() {
+        let mut block = ActivityBlock::new(2);
+        block.push(&sample_activity(1, 2));
+        block.push(&sample_activity(3, 2));
     }
 
     #[test]

@@ -40,7 +40,10 @@ mod pipeline;
 mod rob;
 mod stats;
 
-pub use activity::{CycleActivity, FlowHistory, FlowSource, FuGrant, LatchGroupSpec, LatchGroups};
+pub use activity::{
+    ActivityBlock, CycleActivity, FlowHistory, FlowSource, FuGrant, LatchGroupSpec, LatchGroups,
+    BLOCK_CYCLES,
+};
 pub use bpred::{BranchPredictor, Prediction};
 pub use builder::SimConfigBuilder;
 pub use cache::{AccessOutcome, CacheArray, CacheHierarchy, LookupResult};

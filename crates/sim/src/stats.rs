@@ -4,7 +4,7 @@
 
 use dcg_isa::FuClass;
 
-use crate::activity::CycleActivity;
+use crate::activity::{ActivityBlock, CycleActivity};
 use crate::config::SimConfig;
 
 /// Running totals over a simulation.
@@ -97,6 +97,57 @@ impl SimStats {
         }
         for (sum, occ) in self.latch_slot_writes.iter_mut().zip(&act.latch_occupancy) {
             *sum += u64::from(*occ);
+        }
+    }
+
+    /// Accumulate columns `from..to` of a block.
+    ///
+    /// All counters are integer folds, so summing a column and adding the
+    /// total is exactly the per-cycle [`record`](SimStats::record) fold —
+    /// the block path is bit-identical to the scalar path by construction.
+    pub fn record_block(&mut self, block: &ActivityBlock, from: usize, to: usize) {
+        debug_assert!(from <= to && to <= block.len());
+        if from == to {
+            return;
+        }
+        fn sum(col: &[u32]) -> u64 {
+            col.iter().map(|&v| u64::from(v)).sum()
+        }
+        fn pop(col: &[u32]) -> u64 {
+            col.iter().map(|&v| u64::from(v.count_ones())).sum()
+        }
+        self.cycles += (to - from) as u64;
+        self.committed += sum(&block.committed[from..to]);
+        self.fetched += sum(&block.fetched[from..to]);
+        self.issued += sum(&block.issued[from..to]);
+        self.issued_fp += sum(&block.issued_fp[from..to]);
+        self.issued_loads += sum(&block.issued_loads[from..to]);
+        self.issued_stores += sum(&block.issued_stores[from..to]);
+        for c in FuClass::ALL {
+            self.fu_active_cycles[c.index()] += pop(&block.fu_active[c.index()][from..to]);
+        }
+        self.dcache_port_cycles += pop(&block.dcache_port_mask[from..to]);
+        self.dcache_accesses += sum(&block.dcache_load_accesses[from..to])
+            + sum(&block.dcache_store_accesses[from..to]);
+        self.dcache_misses += sum(&block.dcache_misses[from..to]);
+        self.l2_accesses += sum(&block.l2_accesses[from..to]);
+        let span = ActivityBlock::lane_range(from, to);
+        self.icache_accesses += u64::from((block.icache_access_lanes & span).count_ones());
+        self.icache_misses += u64::from((block.icache_miss_lanes & span).count_ones());
+        self.bpred_lookups += sum(&block.bpred_lookups[from..to]);
+        self.mispredicts += sum(&block.bpred_mispredicts[from..to]);
+        self.result_bus_cycles += sum(&block.result_bus_used[from..to]);
+        self.regfile_reads += sum(&block.regfile_reads[from..to]);
+        self.regfile_writes += sum(&block.regfile_writes[from..to]);
+        if self.latch_slot_writes.len() < block.groups {
+            self.latch_slot_writes.resize(block.groups, 0);
+        }
+        for row in block.latch_occupancy[from * block.groups..to * block.groups]
+            .chunks_exact(block.groups.max(1))
+        {
+            for (acc, &occ) in self.latch_slot_writes.iter_mut().zip(row) {
+                *acc += u64::from(occ);
+            }
         }
     }
 
@@ -305,6 +356,37 @@ mod tests {
         assert!((s.result_bus_utilization(&cfg) - 0.5).abs() < 1e-9);
         // Latch groups: 8/8, 8/8, 4/8, 4/8 -> mean 0.75.
         assert!((s.mean_latch_utilization(&cfg) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_block_matches_scalar_record() {
+        let mut acts = Vec::new();
+        for cycle in 1..=75u64 {
+            let mut a = sample_activity();
+            a.cycle = cycle;
+            a.committed = (cycle % 5) as u32;
+            a.icache_access = cycle % 2 == 0;
+            a.icache_miss = cycle % 6 == 0;
+            a.bpred_lookups = (cycle % 3) as u32;
+            acts.push(a);
+        }
+        let mut scalar = SimStats::default();
+        for a in &acts {
+            scalar.record(a);
+        }
+        let mut blocked = SimStats::default();
+        let mut block = ActivityBlock::new(4);
+        for chunk in acts.chunks(crate::activity::BLOCK_CYCLES) {
+            block.clear(chunk[0].cycle);
+            for a in chunk {
+                block.push(a);
+            }
+            // Exercise a partial span plus the remainder.
+            let mid = chunk.len() / 2;
+            blocked.record_block(&block, 0, mid);
+            blocked.record_block(&block, mid, chunk.len());
+        }
+        assert_eq!(format!("{scalar:?}"), format!("{blocked:?}"));
     }
 
     #[test]

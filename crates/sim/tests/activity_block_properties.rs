@@ -1,0 +1,200 @@
+//! Property tests for the struct-of-arrays [`ActivityBlock`]: pushing any
+//! sequence of consecutive [`CycleActivity`] records and extracting them
+//! back is the identity, and the per-lane summary masks always agree with
+//! the columns they summarize.
+
+use dcg_isa::FuClass;
+use dcg_sim::{ActivityBlock, CycleActivity, FuGrant, BLOCK_CYCLES};
+use dcg_testkit::prop;
+
+const GROUPS: usize = 6;
+
+/// Generator for one arbitrary activity record (cycle filled in later so
+/// blocks stay consecutive). Values straddle the varint single-byte
+/// boundary and include empty/non-empty grant lists.
+fn any_activity() -> prop::Gen<CycleActivity> {
+    let counts = prop::tuple((
+        prop::range(0u32..=300),
+        prop::range(0u32..=300),
+        prop::range(0u32..=8),
+        prop::range(0u32..=8),
+        prop::range(0u32..=8),
+        prop::range(0u32..=4),
+        prop::range(0u32..=4),
+        prop::range(0u32..=6),
+    ));
+    let mem = prop::tuple((
+        prop::range(0u32..=0b1111),
+        prop::range(0u32..=4),
+        prop::range(0u32..=4),
+        prop::range(0u32..=200),
+        prop::range(0u32..=200),
+        prop::any_bool(),
+        prop::any_bool(),
+    ));
+    let misc = prop::tuple((
+        prop::range(0u32..=8),
+        prop::range(0u32..=8),
+        prop::range(0u32..=24),
+        prop::range(0u32..=8),
+        prop::range(0u32..=8),
+    ));
+    let advance = prop::tuple((
+        prop::range(0u32..=8),
+        prop::range(0u32..=64),
+        prop::range(0u32..=256),
+        prop::range(0u32..=64),
+        prop::range(0u32..=2),
+        prop::range(0u32..=8),
+    ));
+    let grants = prop::vec(
+        prop::tuple((
+            prop::range(0usize..FuClass::COUNT),
+            prop::range(0usize..=7),
+            prop::range(0u32..=4),
+            prop::range(1u32..=5),
+        )),
+        0usize..=4,
+    );
+    let latches = prop::vec(prop::range(0u32..=200), GROUPS..=GROUPS);
+    prop::tuple((counts, mem, misc, advance, grants, latches)).map(
+        |(counts, mem, misc, advance, grants, latches)| {
+            let (fetched, renamed, dispatched, issued, issued_fp, loads, stores, committed) =
+                counts;
+            let (port_mask, dl, ds, dm, l2, ia, im) = mem;
+            let (bl, bm, rr, rw, bus) = misc;
+            let (decode_ready, iq, rob, lsq, sp, rb2) = advance;
+            CycleActivity {
+                cycle: 0,
+                fetched,
+                renamed,
+                dispatched,
+                issued,
+                issued_fp,
+                issued_loads: loads,
+                issued_stores: stores,
+                committed,
+                fu_active: [fetched & 7, renamed & 7, issued & 7, loads & 3, stores & 3],
+                dcache_port_mask: port_mask,
+                dcache_load_accesses: dl,
+                dcache_store_accesses: ds,
+                dcache_misses: dm,
+                l2_accesses: l2,
+                icache_access: ia,
+                icache_miss: im,
+                bpred_lookups: bl,
+                bpred_mispredicts: bm,
+                regfile_reads: rr,
+                regfile_writes: rw,
+                result_bus_used: bus,
+                latch_occupancy: latches,
+                grants: grants
+                    .into_iter()
+                    .map(|(class, instance, exec_start, active_len)| FuGrant {
+                        class: FuClass::from_index(class).expect("index in range"),
+                        instance,
+                        exec_start,
+                        active_len,
+                    })
+                    .collect(),
+                decode_ready_next: decode_ready,
+                iq_occupancy: iq,
+                rob_occupancy: rob,
+                lsq_occupancy: lsq,
+                store_ports_next: sp,
+                result_bus_in_2: rb2,
+            }
+        },
+    )
+}
+
+#[test]
+fn block_round_trips_any_activity() {
+    let gen = prop::tuple((
+        prop::vec(any_activity(), 1..=BLOCK_CYCLES),
+        prop::range(1u64..=1_000_000),
+    ));
+    prop::check(
+        "block_round_trips_any_activity",
+        gen,
+        |(mut acts, first)| {
+            for (i, a) in acts.iter_mut().enumerate() {
+                a.cycle = first + i as u64;
+            }
+            let mut block = ActivityBlock::new(GROUPS);
+            for a in &acts {
+                block.push(a);
+            }
+            assert_eq!(block.len(), acts.len());
+            assert_eq!(block.first_cycle, first);
+
+            let mut out = CycleActivity::default();
+            for (i, a) in acts.iter().enumerate() {
+                block.extract(i, &mut out);
+                assert_eq!(&out, a, "extract({i}) must invert push");
+            }
+
+            // Summary lane masks agree with their columns, and lanes past
+            // `len` stay clear.
+            for i in 0..BLOCK_CYCLES {
+                let bit = 1u64 << i;
+                let a = acts.get(i);
+                assert_eq!(
+                    block.port_any & bit != 0,
+                    a.is_some_and(|a| a.dcache_port_mask != 0)
+                );
+                assert_eq!(
+                    block.bus_any & bit != 0,
+                    a.is_some_and(|a| a.result_bus_used != 0)
+                );
+                assert_eq!(
+                    block.icache_access_lanes & bit != 0,
+                    a.is_some_and(|a| a.icache_access)
+                );
+                assert_eq!(
+                    block.icache_miss_lanes & bit != 0,
+                    a.is_some_and(|a| a.icache_miss)
+                );
+                for c in 0..FuClass::COUNT {
+                    assert_eq!(
+                        block.fu_any[c] & bit != 0,
+                        a.is_some_and(|a| a.fu_active[c] != 0)
+                    );
+                }
+                for g in 0..GROUPS {
+                    assert_eq!(
+                        block.latch_any[g] & bit != 0,
+                        a.is_some_and(|a| a.latch_occupancy[g] != 0)
+                    );
+                }
+            }
+
+            // Clearing keeps capacity but resets every summary.
+            block.clear(first + 10_000);
+            assert!(block.is_empty());
+            assert_eq!(block.port_any, 0);
+            assert_eq!(block.bus_any, 0);
+            assert_eq!(block.icache_access_lanes, 0);
+            assert!(block.fu_any.iter().all(|&m| m == 0));
+            assert!(block.latch_any.iter().all(|&m| m == 0));
+            assert!(block.grants.is_empty());
+        },
+    );
+}
+
+#[test]
+fn lane_range_matches_per_cycle_membership() {
+    let gen = prop::tuple((prop::range(0usize..=64), prop::range(0usize..=64)));
+    prop::check("lane_range_membership", gen, |(a, b)| {
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let mask = ActivityBlock::lane_range(from, to);
+        for i in 0..BLOCK_CYCLES {
+            let inside = i >= from && i < to;
+            assert_eq!(
+                mask & (1u64 << i) != 0,
+                inside,
+                "lane {i} of range {from}..{to}"
+            );
+        }
+    });
+}

@@ -76,7 +76,20 @@ pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 ///
 /// Returns `InvalidData` on a non-terminated or over-long encoding and
 /// `UnexpectedEof` on a truncated buffer.
+#[inline]
 pub fn decode_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    // Single-byte fast path: most activity-trace counters are < 128, so
+    // the common case is one branch and no loop.
+    if let Some(&b) = buf.get(*pos) {
+        if b < 0x80 {
+            *pos += 1;
+            return Ok(u64::from(b));
+        }
+    }
+    decode_u64_slow(buf, pos)
+}
+
+fn decode_u64_slow(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
