@@ -510,6 +510,25 @@ pub fn run_alu_sweep_cache() -> std::io::Result<PathBuf> {
         "scalar replay must reproduce the live sweep bit-identically"
     );
 
+    // Store-level timings: checkpoint the manifest, then time a fresh
+    // open (the recovery sweep a new process pays once) and a
+    // full-store lookup scan (the per-entry manifest + checksum path a
+    // warm hit pays).
+    eprintln!("trace store reopen (recovery sweep) + full lookup scan...");
+    cache
+        .checkpoint()
+        .expect("checkpointing the bench store succeeds");
+    let store_dir = cache.dir().to_path_buf();
+    drop(cache);
+    let reopened = TraceCache::new(store_dir);
+    let (open_stats, store_open_ns) = time(|| reopened.ensure_open());
+    let (scan, store_lookup_ns) = time(|| reopened.verify_all());
+    assert_eq!(
+        (open_stats.dropped_corrupt, scan.invalid),
+        (0, 0),
+        "a clean bench store must reopen and verify without losses"
+    );
+
     let speedup = live_ns as f64 / warm_ns.max(1) as f64;
     let batch_over_scalar = warm_scalar_ns as f64 / warm_ns.max(1) as f64;
     let warm_s = warm_ns.max(1) as f64 / 1e9;
@@ -528,6 +547,13 @@ pub fn run_alu_sweep_cache() -> std::io::Result<PathBuf> {
         cycles_per_sec / 1e6,
         bytes_per_sec / 1e6
     );
+    eprintln!(
+        "store reopen {:.2} ms (recovery sweep), full lookup scan {:.2} ms \
+         over {} entries",
+        store_open_ns as f64 / 1e6,
+        store_lookup_ns as f64 / 1e6,
+        scan.valid
+    );
     let doc = Json::obj([
         ("id", Json::str("alu_sweep_cache")),
         ("live_ns", Json::u64(live_ns)),
@@ -540,6 +566,9 @@ pub fn run_alu_sweep_cache() -> std::io::Result<PathBuf> {
         ("replayed_bytes", Json::u64(replayed_bytes)),
         ("cycles_per_sec", Json::f64(cycles_per_sec)),
         ("decoded_bytes_per_sec", Json::f64(bytes_per_sec)),
+        ("store_open_ns", Json::u64(store_open_ns)),
+        ("store_lookup_ns", Json::u64(store_lookup_ns)),
+        ("store_entries", Json::u64(scan.valid)),
         ("bit_identical", Json::Bool(true)),
     ]);
     let dir = results_dir();

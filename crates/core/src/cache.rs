@@ -7,23 +7,28 @@
 //! and later runs replay it through [`crate::run_passive_source`] at a
 //! fraction of the cost.
 //!
-//! Cache entries are keyed by an FNV-1a digest over
-//! ([`SimConfig::digest`], benchmark name, seed, warm-up and measured
-//! instruction counts, and the activity format's schema/version
-//! constants), so any change to the machine configuration, the workload
-//! identity or the serialized [`dcg_sim::CycleActivity`] shape addresses
-//! a different file. Stale entries are caught by the header identity
-//! check; truncated or corrupt ones by the trace trailer's checksum
-//! (verified at memory speed, no decode) — and both are deleted, falling
+//! [`TraceCache`] is the workload-facing facade; the persistence layer
+//! underneath is [`crate::TraceStore`] — a manifest + write-ahead-journal
+//! storage engine (DESIGN.md §14) that indexes entries by their **full**
+//! `(config digest, name, seed, run length, schema)` identity, verifies
+//! a whole-payload checksum on every hit, recovers from interrupted
+//! stores on open, and enforces an optional byte budget
+//! ([`TRACE_CACHE_BUDGET_ENV`]) by evicting oldest-generation entries
+//! first.
+//!
+//! The 64-bit FNV content key still names entry *files* (it keeps file
+//! names short and stable), but it is no longer the identity: two tuples
+//! colliding on the key are stored under disambiguated names and both
+//! stay warm. Stale entries are caught by the manifest identity match;
+//! truncated or corrupt ones by the manifest's payload checksum
+//! (verified at memory speed, no decode) — and both are evicted, falling
 //! back to a live simulation. A cache hit can never change results, only
 //! skip work.
 
 use std::env::VarError;
-use std::fs::{self, File};
-use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Once;
+use std::sync::{Arc, Once};
 
 use dcg_sim::{LatchGroups, Processor, SimConfig};
 use dcg_trace::{
@@ -36,63 +41,83 @@ use crate::policy::GatingPolicy;
 use crate::runner::{run_passive_with_sinks, PassiveRun, RunLength};
 use crate::sinks::{ActivitySink, RecorderSink};
 use crate::source::ReplaySource;
+use crate::store::{EntryIdentity, RecoveryStats, StoreScan, TraceStore};
 
 /// Environment variable controlling [`TraceCache::from_env`]: unset for
 /// the default location, a path to relocate the cache, or `0`/`off`/
 /// `none` to disable caching.
 pub const TRACE_CACHE_ENV: &str = "DCG_TRACE_CACHE";
 
+/// Environment variable bounding the store's on-disk size in bytes
+/// (`k`/`m`/`g` suffixes accepted, e.g. `512m`). Unset or `0` means
+/// unbounded. When the budget is exceeded, oldest-generation entries are
+/// evicted first.
+pub const TRACE_CACHE_BUDGET_ENV: &str = "DCG_TRACE_CACHE_BUDGET";
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// Counter making concurrent writers' temp-file names unique within one
-/// process (the pid distinguishes processes).
-static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// Process-wide count of failed cache stores (see [`CacheHealth`]).
+/// Process-wide aggregate counters (see [`CacheHealth::snapshot`]).
+/// Per-instance attribution lives in [`crate::TraceStore`]'s own
+/// counters; these aggregates exist only so the metrics JSON can report
+/// whole-process cache health without threading instances around.
 static STORE_FAILURES: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of failed invalid-entry deletions.
 static EVICT_FAILURES: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of replay drives that failed mid-run.
 static REPLAY_FAILURES: AtomicU64 = AtomicU64::new(0);
+static KEY_COLLISIONS: AtomicU64 = AtomicU64::new(0);
 /// Gate for the once-per-process store-failure warning.
 static STORE_WARNING: Once = Once::new();
 /// Gate for the once-per-process evict-failure warning.
 static EVICT_WARNING: Once = Once::new();
 /// Gate for the once-per-process replay-failure warning.
 static REPLAY_WARNING: Once = Once::new();
+/// Gate for the once-per-process recovery-dropped-entries warning.
+static RECOVERY_WARNING: Once = Once::new();
+/// Gate for the once-per-process relocated-default diagnostic.
+static RELOCATED_NOTE: Once = Once::new();
 
-/// Snapshot of trace-cache I/O health for this process.
+/// Snapshot of trace-cache I/O health.
 ///
 /// Caching is an optimization, never a correctness dependency, so I/O
 /// failures do not abort runs — but they must not be *silent* either: a
 /// read-only or full `results/traces/` directory would otherwise quietly
 /// re-simulate everything. The first failure of each kind warns on
-/// stderr; all failures are counted here and surfaced in the metrics
-/// JSON.
+/// stderr; all failures are counted.
+///
+/// Counters come in two scopes: [`TraceCache::health`] reads the
+/// *instance* counters (race-free attribution for tests and the fault
+/// campaign, which compare before/after deltas on one cache), while
+/// [`CacheHealth::snapshot`] reads the process-wide aggregate (what the
+/// metrics JSON reports).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheHealth {
-    /// Cache stores that failed (directory creation, write, or rename).
+    /// Cache stores that failed (directory creation, write, journal
+    /// append, or rename).
     pub store_failures: u64,
     /// Invalid cache entries that could not be deleted.
     pub evict_failures: u64,
     /// Replay drives that failed mid-run on a validated entry (the entry
     /// is evicted and the caller re-simulates live).
     pub replay_failures: u64,
+    /// Distinct tuples that collided on the 64-bit filename key and were
+    /// stored under disambiguated names (both stay warm).
+    pub key_collisions: u64,
 }
 
 impl CacheHealth {
-    /// The current process-wide counters.
+    /// The current process-wide aggregate counters. For per-instance
+    /// attribution use [`TraceCache::health`].
     pub fn snapshot() -> CacheHealth {
         CacheHealth {
             store_failures: STORE_FAILURES.load(Ordering::Relaxed),
             evict_failures: EVICT_FAILURES.load(Ordering::Relaxed),
             replay_failures: REPLAY_FAILURES.load(Ordering::Relaxed),
+            key_collisions: KEY_COLLISIONS.load(Ordering::Relaxed),
         }
     }
 }
 
-fn note_store_failure(path: &Path, what: &str) {
+pub(crate) fn note_store_failure(path: &Path, what: &str) {
     STORE_FAILURES.fetch_add(1, Ordering::Relaxed);
     STORE_WARNING.call_once(|| {
         eprintln!(
@@ -117,7 +142,7 @@ fn note_replay_failure(path: &Path, err: &DcgError) {
     });
 }
 
-fn note_evict_failure(path: &Path, err: &std::io::Error) {
+pub(crate) fn note_evict_failure(path: &Path, err: &std::io::Error) {
     EVICT_FAILURES.fetch_add(1, Ordering::Relaxed);
     EVICT_WARNING.call_once(|| {
         eprintln!(
@@ -129,25 +154,134 @@ fn note_evict_failure(path: &Path, err: &std::io::Error) {
     });
 }
 
-/// A directory of recorded activity traces, addressed by content key.
+pub(crate) fn note_key_collision() {
+    KEY_COLLISIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Called by the store after every open-time recovery sweep. Recovery
+/// itself is normal operation (and silent); dropped *corrupt* entries
+/// are a disk-health signal worth one warning per process.
+pub(crate) fn note_recovery(stats: &RecoveryStats) {
+    if stats.dropped_corrupt > 0 {
+        RECOVERY_WARNING.call_once(|| {
+            eprintln!(
+                "warning: trace-store recovery dropped {} corrupt or \
+                 dangling cache entr{}; the affected tuples will \
+                 re-simulate live (further recovery drops are counted, \
+                 not repeated here)",
+                stats.dropped_corrupt,
+                if stats.dropped_corrupt == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+        });
+    }
+}
+
+/// The default cache location. A checkout builds and runs from the
+/// workspace, so the compile-time `CARGO_MANIFEST_DIR` root is honored
+/// **only when it still exists**; a relocated or installed binary falls
+/// back to `results/traces/` under the current working directory, with a
+/// named diagnostic (`trace-cache-default-relocated`) so the surprise
+/// location is traceable.
+fn default_cache_dir() -> PathBuf {
+    // crates/core/ -> workspace root.
+    if let Some(root) = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
+        if root.is_dir() {
+            return root.join("results").join("traces");
+        }
+    }
+    RELOCATED_NOTE.call_once(|| {
+        eprintln!(
+            "note: trace-cache-default-relocated: the build-time workspace \
+             root no longer exists; defaulting the trace cache to \
+             ./results/traces relative to the current directory (set \
+             {TRACE_CACHE_ENV} to choose a location)"
+        );
+    });
+    PathBuf::from("results").join("traces")
+}
+
+/// Parse a [`TRACE_CACHE_BUDGET_ENV`] value: a byte count with an
+/// optional `k`/`m`/`g` (binary) suffix. `0` disables the bound.
+/// `None` means unparseable.
+fn parse_budget(v: &str) -> Option<Option<u64>> {
+    let v = v.trim();
+    if v.is_empty() {
+        return Some(None);
+    }
+    let (digits, mult) = match v.as_bytes().last()? {
+        b'k' | b'K' => (&v[..v.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&v[..v.len() - 1], 1u64 << 20),
+        b'g' | b'G' => (&v[..v.len() - 1], 1u64 << 30),
+        _ => (v, 1),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    let bytes = n.checked_mul(mult)?;
+    Some(if bytes == 0 { None } else { Some(bytes) })
+}
+
+/// The byte budget from [`TRACE_CACHE_BUDGET_ENV`]; malformed values are
+/// diagnosed and treated as unbounded (caching stays on — a bad bound
+/// must not silently discard the cache).
+fn budget_from_env() -> Option<u64> {
+    match std::env::var(TRACE_CACHE_BUDGET_ENV) {
+        Ok(v) => match parse_budget(&v) {
+            Some(b) => b,
+            None => {
+                eprintln!(
+                    "warning: {TRACE_CACHE_BUDGET_ENV}={v:?} is not a byte \
+                     count (digits with optional k/m/g suffix); the trace \
+                     cache runs unbounded"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}
+
+/// A store of recorded activity traces, addressed by content identity.
+///
+/// Cheap to clone (the underlying [`crate::TraceStore`] is shared) and
+/// safe to share across threads — the experiment suite drives one cache
+/// from all of its workers.
 #[derive(Debug, Clone)]
 pub struct TraceCache {
-    dir: PathBuf,
+    store: Arc<TraceStore>,
 }
 
 impl TraceCache {
-    /// A cache rooted at `dir` (created lazily on first store).
+    /// A cache rooted at `dir` (created lazily on first store; the
+    /// recovery sweep runs on first use).
     pub fn new(dir: PathBuf) -> TraceCache {
-        TraceCache { dir }
+        TraceCache {
+            store: Arc::new(TraceStore::new(dir, None)),
+        }
     }
 
-    /// The cache honoring [`TRACE_CACHE_ENV`]; defaults to
-    /// `results/traces/` at the workspace root. Returns `None` when
-    /// caching is disabled — explicitly (`0`/`off`/`none`/empty) or
-    /// because the variable is malformed, which is diagnosed on stderr
-    /// rather than silently running uncached.
+    /// This cache with an on-disk byte budget (`None` = unbounded);
+    /// oldest-generation entries evict first once the budget is
+    /// exceeded.
+    #[must_use]
+    pub fn with_budget(self, budget: Option<u64>) -> TraceCache {
+        TraceCache {
+            store: Arc::new(TraceStore::new(self.store.dir().to_path_buf(), budget)),
+        }
+    }
+
+    /// The cache honoring [`TRACE_CACHE_ENV`] (location) and
+    /// [`TRACE_CACHE_BUDGET_ENV`] (size bound); defaults to
+    /// `results/traces/` at the workspace root when it exists, else
+    /// under the current directory. Returns `None` when caching is
+    /// disabled — explicitly (`0`/`off`/`none`/empty) or because the
+    /// variable is malformed, which is diagnosed on stderr rather than
+    /// silently running uncached.
     pub fn from_env() -> Option<TraceCache> {
         Self::from_env_value(std::env::var(TRACE_CACHE_ENV))
+            .map(|c| c.with_budget(budget_from_env()))
     }
 
     /// [`TraceCache::from_env`] with the variable lookup factored out so
@@ -156,14 +290,7 @@ impl TraceCache {
         match value {
             Ok(v) if matches!(v.as_str(), "0" | "off" | "none" | "") => None,
             Ok(v) => Some(TraceCache::new(PathBuf::from(v))),
-            Err(VarError::NotPresent) => {
-                // crates/core/ -> workspace root.
-                let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-                    .ancestors()
-                    .nth(2)
-                    .expect("workspace root");
-                Some(TraceCache::new(root.join("results").join("traces")))
-            }
+            Err(VarError::NotPresent) => Some(TraceCache::new(default_cache_dir())),
             Err(VarError::NotUnicode(raw)) => {
                 eprintln!(
                     "warning: {TRACE_CACHE_ENV} is set but not valid \
@@ -177,10 +304,68 @@ impl TraceCache {
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.store.dir()
+    }
+
+    /// The underlying storage engine (recovery stats, verification,
+    /// compaction).
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// This instance's health counters (race-free attribution even when
+    /// other caches are active in the process). The process-wide
+    /// aggregate is [`CacheHealth::snapshot`].
+    pub fn health(&self) -> CacheHealth {
+        let h = &self.store.health;
+        CacheHealth {
+            store_failures: h.store_failures.load(Ordering::Relaxed),
+            evict_failures: h.evict_failures.load(Ordering::Relaxed),
+            replay_failures: h.replay_failures.load(Ordering::Relaxed),
+            key_collisions: h.key_collisions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Force the lazy open (and its recovery sweep) now; returns what
+    /// the sweep did.
+    pub fn ensure_open(&self) -> RecoveryStats {
+        self.store.ensure_open()
+    }
+
+    /// Fold the journal into a fresh manifest checkpoint now.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the manifest rewrite or journal restart fails; entries
+    /// themselves are unaffected (the next open recovers them from the
+    /// previous manifest, the journal, or the directory scan).
+    pub fn checkpoint(&self) -> Result<(), DcgError> {
+        self.store.checkpoint().map_err(DcgError::from)
+    }
+
+    /// Verify every tracked entry's payload checksum, evicting failures.
+    pub fn verify_all(&self) -> StoreScan {
+        self.store.verify_all()
+    }
+
+    /// Run a compaction pass now: drop stale-schema entries, enforce the
+    /// byte budget, checkpoint.
+    pub fn compact_now(&self) -> RecoveryStats {
+        self.store.compact_now()
+    }
+
+    /// Run compaction on a background thread (the store is shared, so
+    /// concurrent lookups proceed; compaction only deletes dead-schema
+    /// or over-budget entries). Join the handle to observe what it did.
+    pub fn spawn_compaction(&self) -> std::thread::JoinHandle<RecoveryStats> {
+        let store = Arc::clone(&self.store);
+        std::thread::spawn(move || store.compact_now())
     }
 
     /// Content key for one `(config, workload, seed, length)` tuple.
+    ///
+    /// The key names entry *files*; identity is the full tuple (the
+    /// store disambiguates key collisions between distinct tuples).
     pub fn key(config: &SimConfig, name: &str, seed: u64, length: RunLength) -> u64 {
         let mut h = FNV_OFFSET;
         let mut mix_bytes = |bytes: &[u8]| {
@@ -200,8 +385,15 @@ impl TraceCache {
         h
     }
 
-    fn entry_path(&self, name: &str, key: u64) -> PathBuf {
-        self.dir.join(format!("{name}-{key:016x}.dcgact"))
+    /// The store identity for one tuple.
+    fn identity(config: &SimConfig, name: &str, seed: u64, length: RunLength) -> EntryIdentity {
+        EntryIdentity::current(
+            config.digest(),
+            name,
+            seed,
+            length.warmup_insts,
+            length.measure_insts,
+        )
     }
 
     /// The on-disk path the entry for one `(config, workload, seed,
@@ -215,14 +407,17 @@ impl TraceCache {
         seed: u64,
         length: RunLength,
     ) -> PathBuf {
-        self.entry_path(name, Self::key(config, name, seed, length))
+        self.store.entry_path(
+            &Self::identity(config, name, seed, length),
+            Self::key(config, name, seed, length),
+        )
     }
 
     /// Open a validated replay source for the tuple, or `None` on a cache
-    /// miss. Validation re-derives the content key, checks every header
-    /// identity field and verifies the trailer checksum over the record
-    /// bytes (so a truncated or corrupt file can never half-replay);
-    /// invalid entries are deleted.
+    /// miss. The manifest index answers the identity match before any
+    /// file I/O; the hit then verifies the manifest's whole-payload
+    /// checksum (memory speed, no decode) and re-checks the header
+    /// identity fields as defense in depth. Invalid entries are evicted.
     ///
     /// The whole entry is loaded into memory first — entries are a few
     /// megabytes, and slice decoding is what makes replay beat a live
@@ -234,14 +429,12 @@ impl TraceCache {
         seed: u64,
         length: RunLength,
     ) -> Option<ReplaySource> {
-        let path = self.entry_path(name, Self::key(config, name, seed, length));
-        let bytes = fs::read(&path).ok()?;
+        let identity = Self::identity(config, name, seed, length);
+        let bytes = self.store.fetch(&identity)?;
         match Self::validate_entry(config, name, seed, length, bytes) {
             Ok(reader) => Some(ReplaySource::new(reader)),
             Err(()) => {
-                if let Err(e) = fs::remove_file(&path) {
-                    note_evict_failure(&path, &e);
-                }
+                self.store.evict(&identity);
                 None
             }
         }
@@ -271,6 +464,28 @@ impl TraceCache {
             return Err(());
         }
         Ok(reader)
+    }
+
+    /// Evict the tuple's entry and count a replay failure on both the
+    /// instance and the process aggregate.
+    fn evict_after_replay_failure(
+        &self,
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+        err: &DcgError,
+    ) {
+        let identity = Self::identity(config, name, seed, length);
+        let path = self
+            .store
+            .entry_path(&identity, Self::key(config, name, seed, length));
+        self.store
+            .health
+            .replay_failures
+            .fetch_add(1, Ordering::Relaxed);
+        note_replay_failure(&path, err);
+        self.store.evict(&identity);
     }
 
     /// [`crate::run_passive`] with transparent caching: replay the
@@ -368,13 +583,7 @@ impl TraceCache {
                     // live, then surface the error — the caller's
                     // policies have consumed a partial stream and must be
                     // rebuilt before retrying.
-                    let path = self.entry_path(name, Self::key(config, name, seed, length));
-                    note_replay_failure(&path, &e);
-                    if path.exists() {
-                        if let Err(io) = fs::remove_file(&path) {
-                            note_evict_failure(&path, &io);
-                        }
-                    }
+                    self.evict_after_replay_failure(config, name, seed, length, &e);
                     return Err(e);
                 }
             }
@@ -403,7 +612,11 @@ impl TraceCache {
                 .expect("a live simulation source cannot fail")
         };
         if let Ok(bytes) = recorder.finish() {
-            self.store(name, Self::key(config, name, seed, length), &bytes);
+            self.store.insert(
+                &Self::identity(config, name, seed, length),
+                Self::key(config, name, seed, length),
+                &bytes,
+            );
         }
         Ok(run)
     }
@@ -436,47 +649,13 @@ impl TraceCache {
             match crate::runner::run_stats_source(&mut replay, length) {
                 Ok(stats) => return Ok(stats),
                 Err(e) => {
-                    let path = self.entry_path(name, Self::key(config, name, seed, length));
-                    note_replay_failure(&path, &e);
-                    if path.exists() {
-                        if let Err(io) = fs::remove_file(&path) {
-                            note_evict_failure(&path, &io);
-                        }
-                    }
+                    self.evict_after_replay_failure(config, name, seed, length, &e);
                     return Err(e);
                 }
             }
         }
         self.run_passive_cached_stream(config, name, seed, length, make_stream, &mut [], &mut [])
             .map(|run| run.stats)
-    }
-
-    /// Best-effort atomic store: write to a unique temp file, then rename
-    /// into place. Failures never abort the run — caching is an
-    /// optimization, not a correctness dependency — but they warn once
-    /// per process and are counted in [`CacheHealth`].
-    fn store(&self, name: &str, key: u64, bytes: &[u8]) {
-        if fs::create_dir_all(&self.dir).is_err() {
-            note_store_failure(&self.dir, "cannot create cache directory");
-            return;
-        }
-        let tmp = self.dir.join(format!(
-            "{name}-{key:016x}.{}.{}.tmp",
-            std::process::id(),
-            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
-        let write = || -> std::io::Result<()> {
-            let mut f = BufWriter::new(File::create(&tmp)?);
-            f.write_all(bytes)?;
-            f.into_inner()?.sync_all()
-        };
-        if write().is_err() {
-            note_store_failure(&tmp, "cannot write temp file");
-            let _ = fs::remove_file(&tmp);
-        } else if fs::rename(&tmp, self.entry_path(name, key)).is_err() {
-            note_store_failure(&tmp, "cannot rename temp file into place");
-            let _ = fs::remove_file(&tmp);
-        }
     }
 }
 
@@ -486,6 +665,7 @@ mod tests {
     use crate::{Dcg, NoGating};
     use dcg_power::Component;
     use dcg_workloads::Spec2000;
+    use std::fs;
 
     fn scratch(tag: &str) -> TraceCache {
         let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -580,6 +760,7 @@ mod tests {
         let groups = LatchGroups::new(&cfg.depth);
         let profile = Spec2000::by_name("gzip").unwrap();
         let before = CacheHealth::snapshot().store_failures;
+        assert_eq!(cache.health(), CacheHealth::default());
 
         let mut base = NoGating::new(&cfg, &groups);
         let run = cache
@@ -589,6 +770,10 @@ mod tests {
         assert!(
             CacheHealth::snapshot().store_failures > before,
             "a failed store must be counted, not swallowed"
+        );
+        assert!(
+            cache.health().store_failures > 0,
+            "the instance counters attribute the failure to this cache"
         );
         assert!(
             cache
@@ -624,6 +809,21 @@ mod tests {
     }
 
     #[test]
+    fn budget_parsing_accepts_suffixes_and_rejects_garbage() {
+        assert_eq!(parse_budget("1024"), Some(Some(1024)));
+        assert_eq!(parse_budget("4k"), Some(Some(4 << 10)));
+        assert_eq!(parse_budget("512M"), Some(Some(512 << 20)));
+        assert_eq!(parse_budget("2g"), Some(Some(2 << 30)));
+        assert_eq!(parse_budget("0"), Some(None), "0 means unbounded");
+        assert_eq!(parse_budget(""), Some(None));
+        assert_eq!(parse_budget("lots"), None);
+        assert_eq!(parse_budget("-5"), None);
+        assert_eq!(parse_budget("1t"), None, "unknown suffix is rejected");
+        let bounded = scratch("budget-knob").with_budget(Some(4096));
+        assert_eq!(bounded.store().budget(), Some(4096));
+    }
+
+    #[test]
     fn corrupt_entry_falls_back_to_live() {
         let cache = scratch("corrupt");
         let cfg = SimConfig::baseline_8wide();
@@ -635,10 +835,10 @@ mod tests {
             .run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base])
             .expect("clean run");
 
-        // Truncate the entry: the validation scan must reject and delete
-        // it, and the next cached run must still produce the same result.
-        let key = TraceCache::key(&cfg, profile.name, 5, short());
-        let path = cache.entry_path(profile.name, key);
+        // Truncate the entry: the checksum verification must reject and
+        // evict it, and the next cached run must still produce the same
+        // result.
+        let path = cache.entry_path_for(&cfg, profile.name, 5, short());
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
 
@@ -652,5 +852,39 @@ mod tests {
             .run_passive_cached(&cfg, profile, 5, short(), &mut [&mut base2])
             .expect("fallback run");
         assert_eq!(report_bits(&clean), report_bits(&relive));
+    }
+
+    #[test]
+    fn warm_entries_survive_a_reopen() {
+        let cache = scratch("survive-reopen");
+        let dir = cache.dir().to_path_buf();
+        let cfg = SimConfig::baseline_8wide();
+        let groups = LatchGroups::new(&cfg.depth);
+        let profile = Spec2000::by_name("gzip").unwrap();
+
+        let mut base = NoGating::new(&cfg, &groups);
+        let cold = cache
+            .run_passive_cached(&cfg, profile, 11, short(), &mut [&mut base])
+            .expect("cold run");
+        cache.checkpoint().expect("checkpoint");
+        drop(cache);
+
+        // A brand-new cache instance (fresh process, in effect) must
+        // serve the same tuple warm through the manifest, bit-identical.
+        let cache2 = TraceCache::new(dir);
+        assert!(
+            cache2
+                .replay_source(&cfg, profile.name, 11, short())
+                .is_some(),
+            "the manifest-indexed entry survives a reopen"
+        );
+        let mut base2 = NoGating::new(&cfg, &groups);
+        let warm = cache2
+            .run_passive_cached(&cfg, profile, 11, short(), &mut [&mut base2])
+            .expect("warm run after reopen");
+        assert_eq!(report_bits(&cold), report_bits(&warm));
+        let scan = cache2.verify_all();
+        assert_eq!(scan.invalid, 0);
+        assert!(scan.valid >= 1);
     }
 }

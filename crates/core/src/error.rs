@@ -13,12 +13,18 @@ use std::fmt;
 
 use dcg_trace::TraceError;
 
+use crate::store::StoreError;
+
 /// An error surfaced while driving a simulate-once pass.
 #[derive(Debug)]
 pub enum DcgError {
     /// A trace-layer failure outside a replay drive (open, decode setup,
     /// recording I/O).
     Trace(TraceError),
+    /// A trace-store metadata failure (manifest checkpoint, journal
+    /// append). Entry payloads are never lost to these — the recovery
+    /// sweep rebuilds the index from the surviving files.
+    Store(StoreError),
     /// A replayed activity trace ended before the run reached its target
     /// instruction count.
     ReplayExhausted {
@@ -46,6 +52,7 @@ impl fmt::Display for DcgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DcgError::Trace(e) => write!(f, "trace error: {e}"),
+            DcgError::Store(e) => write!(f, "{e}"),
             DcgError::ReplayExhausted {
                 name,
                 cycles,
@@ -72,6 +79,7 @@ impl Error for DcgError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DcgError::Trace(e) | DcgError::ReplayCorrupt { source: e, .. } => Some(e),
+            DcgError::Store(e) => Some(e),
             DcgError::ReplayExhausted { .. } => None,
         }
     }
@@ -80,6 +88,12 @@ impl Error for DcgError {
 impl From<TraceError> for DcgError {
     fn from(e: TraceError) -> Self {
         DcgError::Trace(e)
+    }
+}
+
+impl From<StoreError> for DcgError {
+    fn from(e: StoreError) -> Self {
+        DcgError::Store(e)
     }
 }
 

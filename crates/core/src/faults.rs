@@ -47,11 +47,20 @@ pub enum FaultPoint {
     CacheLoadCorrupt,
     /// Panic inside an [`ActivitySink`] mid-drive.
     SinkPanic,
+    /// Tear the trace store's manifest mid-write (truncate or corrupt
+    /// it) between two opens.
+    ManifestTorn,
+    /// Truncate the trace store's journal mid-record, as a crashed
+    /// appender would leave it.
+    JournalTruncate,
+    /// Strand an orphaned `.tmp` file in the store directory, as a
+    /// writer dying before its journal record would.
+    StoreOrphanTmp,
 }
 
 impl FaultPoint {
     /// Number of injection points.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 12;
 
     /// Every point, in round-robin order.
     pub const ALL: [FaultPoint; FaultPoint::COUNT] = [
@@ -64,6 +73,9 @@ impl FaultPoint {
         FaultPoint::CacheStoreIo,
         FaultPoint::CacheLoadCorrupt,
         FaultPoint::SinkPanic,
+        FaultPoint::ManifestTorn,
+        FaultPoint::JournalTruncate,
+        FaultPoint::StoreOrphanTmp,
     ];
 
     /// Stable label (used in campaign reports).
@@ -78,6 +90,9 @@ impl FaultPoint {
             FaultPoint::CacheStoreIo => "cache-store-io",
             FaultPoint::CacheLoadCorrupt => "cache-load-corrupt",
             FaultPoint::SinkPanic => "sink-panic",
+            FaultPoint::ManifestTorn => "store-manifest-torn",
+            FaultPoint::JournalTruncate => "store-journal-truncate",
+            FaultPoint::StoreOrphanTmp => "store-orphan-tmp",
         }
     }
 

@@ -63,8 +63,9 @@ mod runner;
 mod safety;
 mod sinks;
 mod source;
+mod store;
 
-pub use cache::{CacheHealth, TraceCache, TRACE_CACHE_ENV};
+pub use cache::{CacheHealth, TraceCache, TRACE_CACHE_BUDGET_ENV, TRACE_CACHE_ENV};
 pub use dcg::{Dcg, DcgOptions};
 pub use error::DcgError;
 pub use faults::{FaultPlan, FaultPoint, FaultSpec, FaultWindow, FaultyPolicy, PanicSink};
@@ -82,6 +83,10 @@ pub use runner::{
 pub use safety::{GatingSafetyChecker, Hazard, HazardClass, SafetyConfig, SafetyReport};
 pub use sinks::{ActivitySink, MetricsSink};
 pub use source::{ActivitySource, ReplaySource};
+pub use store::{
+    EntryIdentity, EntryMeta, RecoveryStats, StoreError, StoreScan, TraceStore, JOURNAL_FILE,
+    MANIFEST_FILE, STORE_CRASH_ENV,
+};
 
 /// Bitmask with the low `n` bits set (shared by the policies).
 pub(crate) fn mask_of(n: usize) -> u32 {

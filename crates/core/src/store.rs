@@ -1,0 +1,1392 @@
+//! The tiered, crash-safe backing store behind [`crate::TraceCache`].
+//!
+//! The first-generation cache was a flat directory of `.dcgact` files
+//! addressed by a 64-bit FNV filename key. That shape had real
+//! correctness holes: two tuples colliding on the key overwrote each
+//! other's file and thrashed forever, a writer dying between temp-file
+//! creation and rename leaked `.tmp` files, and every lookup had to read
+//! and re-validate a full file header before knowing whether the entry
+//! even matched. This module replaces it with a small storage engine in
+//! the LSM style (manifest + write-ahead journal + recovery sweep +
+//! bounded compaction):
+//!
+//! * a versioned, checksummed **manifest** (`MANIFEST.dcgstore`, written
+//!   via temp-file + rename) indexes entries by their **full identity**
+//!   — `(config digest, name, seed, warm-up/measure lengths, activity
+//!   schema, activity version)` — plus per-entry metadata: on-disk file
+//!   name, byte length, whole-payload checksum and a last-access
+//!   generation;
+//! * an append-only **journal** (`JOURNAL.dcgstore`) records every store
+//!   and eviction *before* it takes effect, so an interrupted mutation is
+//!   rolled forward (temp file renamed into place) or discarded (temp
+//!   file deleted) on the next open, never half-trusted;
+//! * an **open-time recovery sweep** reconciles the directory against
+//!   manifest + journal: untracked valid entries are adopted, corrupt
+//!   files and dangling manifest rows are dropped, and stale `.tmp`
+//!   files are reaped exactly once;
+//! * a **bounded-capacity eviction policy** (`DCG_TRACE_CACHE_BUDGET`
+//!   bytes, oldest generation first) and a **compaction pass** —
+//!   runnable on a background thread — that drops entries recorded under
+//!   an activity schema/version the current binary no longer speaks.
+//!
+//! Lookups go through the in-memory manifest index, so a hit knows the
+//! entry matches before touching the file, and the whole-payload
+//! checksum (the activity format's own 4-lane memory-speed checksum,
+//! [`dcg_trace::payload_checksum`]) rejects silently corrupted or
+//! swapped files with a clean miss instead of a half-replay.
+//!
+//! Crash-consistency test hook: `DCG_STORE_CRASH=before-journal:N` or
+//! `before-rename:N` aborts the process at the named point of the `N`-th
+//! store in this process, letting CI kill a sweep mid-store and prove
+//! the reopen recovers (DESIGN.md §14).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use dcg_trace::{payload_checksum, ActivityTraceReader, ACTIVITY_SCHEMA, ACTIVITY_VERSION};
+
+/// Manifest file name inside the store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.dcgstore";
+/// Journal (write-ahead log) file name inside the store directory.
+pub const JOURNAL_FILE: &str = "JOURNAL.dcgstore";
+/// Manifest magic.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"DCGMAN01";
+/// Journal magic.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"DCGWAL01";
+/// Manifest/journal format version.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+/// Environment variable for the crash-consistency test hook.
+pub const STORE_CRASH_ENV: &str = "DCG_STORE_CRASH";
+
+/// Mutations between automatic manifest checkpoints. The journal holds
+/// at most this many records (plus evictions) before being folded into
+/// a fresh manifest, so recovery replay stays short.
+const CHECKPOINT_EVERY: u32 = 16;
+
+/// Journal record kinds.
+const REC_STORE: u8 = 1;
+const REC_EVICT: u8 = 2;
+
+/// Counter making concurrent writers' temp-file names unique within one
+/// process (the pid distinguishes processes).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Process-global count of stores, driving the crash hook.
+static STORE_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// The full identity a cache entry is indexed by — every field that can
+/// change what a recorded activity stream replays to. The old flat
+/// layout folded all of this into one 64-bit FNV filename key; the
+/// manifest keeps the fields themselves, so two tuples that collide on
+/// the key remain distinct entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EntryIdentity {
+    /// [`dcg_sim::SimConfig::digest`] of the producing configuration.
+    pub config_digest: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Warm-up instructions of the producing run.
+    pub warmup_insts: u64,
+    /// Measured instructions of the producing run.
+    pub measure_insts: u64,
+    /// Activity schema fingerprint the entry was recorded under.
+    pub schema: u32,
+    /// Activity format version the entry was recorded under.
+    pub version: u32,
+    /// Workload name.
+    pub name: String,
+}
+
+impl EntryIdentity {
+    /// Identity for a tuple recorded under the *current* activity
+    /// schema/version (the only kind this binary can produce).
+    pub fn current(
+        config_digest: u64,
+        name: &str,
+        seed: u64,
+        warmup_insts: u64,
+        measure_insts: u64,
+    ) -> EntryIdentity {
+        EntryIdentity {
+            config_digest,
+            seed,
+            warmup_insts,
+            measure_insts,
+            schema: ACTIVITY_SCHEMA,
+            version: ACTIVITY_VERSION,
+            name: name.to_string(),
+        }
+    }
+
+    /// `true` when the entry was recorded under the schema/version this
+    /// binary speaks — compaction drops everything else.
+    fn is_live_schema(&self) -> bool {
+        self.schema == ACTIVITY_SCHEMA && self.version == ACTIVITY_VERSION
+    }
+}
+
+/// Per-entry metadata carried by the manifest and journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// Full identity of the tuple this entry caches.
+    pub identity: EntryIdentity,
+    /// On-disk file name within the store directory.
+    pub file: String,
+    /// Payload length in bytes.
+    pub bytes: u64,
+    /// Whole-payload checksum ([`dcg_trace::payload_checksum`]).
+    pub checksum: u64,
+    /// Last-access generation (monotonic; oldest evicts first).
+    pub generation: u64,
+}
+
+/// A failure in the store's own metadata I/O (manifest checkpoint,
+/// journal append). Entry-payload failures never surface here — they
+/// degrade to counted cache misses.
+#[derive(Debug)]
+pub struct StoreError {
+    /// What the store was doing.
+    pub what: &'static str,
+    /// The underlying I/O failure.
+    pub source: io::Error,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace store {}: {}", self.what, self.source)
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// What one open-time recovery sweep (or compaction pass) did —
+/// surfaced through [`crate::CacheHealth`] and the store fault
+/// campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Untracked valid entries adopted from the directory scan.
+    pub adopted: u64,
+    /// Interrupted stores completed from their journal record (temp file
+    /// renamed into place).
+    pub rolled_forward: u64,
+    /// Stale temp files deleted.
+    pub reaped_tmp: u64,
+    /// Corrupt entry files (or dangling manifest rows) dropped.
+    pub dropped_corrupt: u64,
+    /// Entries dropped because their recorded activity schema/version is
+    /// no longer live.
+    pub dropped_stale_schema: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evicted_over_budget: u64,
+}
+
+/// Summary of a full-store verification pass ([`TraceStore::verify_all`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreScan {
+    /// Entries whose payload checksum matched the manifest.
+    pub valid: u64,
+    /// Entries that failed verification (and were evicted).
+    pub invalid: u64,
+    /// Total payload bytes of the valid entries.
+    pub bytes: u64,
+}
+
+/// Per-instance health counters (atomics: the store is shared across
+/// the suite's worker threads). Mirrored into the process-wide
+/// aggregate by the facade in `cache.rs`.
+#[derive(Debug, Default)]
+pub struct HealthCounters {
+    /// Failed stores (directory creation, write, journal, or rename).
+    pub store_failures: AtomicU64,
+    /// Invalid entries that could not be deleted.
+    pub evict_failures: AtomicU64,
+    /// Replay drives that failed mid-run on a validated entry.
+    pub replay_failures: AtomicU64,
+    /// Distinct identities that collided on the 64-bit filename key and
+    /// were stored under a disambiguated name.
+    pub key_collisions: AtomicU64,
+    /// Untracked valid entries adopted by recovery sweeps.
+    pub adopted_entries: AtomicU64,
+    /// Stale temp files reaped by recovery sweeps.
+    pub reaped_tmp: AtomicU64,
+    /// Interrupted stores rolled forward from the journal.
+    pub rolled_forward: AtomicU64,
+    /// Corrupt entry files or dangling manifest rows dropped.
+    pub dropped_corrupt: AtomicU64,
+}
+
+/// Where the crash hook fires inside a store mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashPoint {
+    /// After the temp file is written, before the journal record.
+    BeforeJournal,
+    /// After the journal record, before the rename — the torn state the
+    /// journal exists to roll forward.
+    BeforeRename,
+}
+
+fn crash_plan() -> Option<(CrashPoint, u64)> {
+    static PLAN: OnceLock<Option<(CrashPoint, u64)>> = OnceLock::new();
+    *PLAN.get_or_init(|| {
+        let v = std::env::var(STORE_CRASH_ENV).ok()?;
+        let (point, n) = v.split_once(':')?;
+        let point = match point {
+            "before-journal" => CrashPoint::BeforeJournal,
+            "before-rename" => CrashPoint::BeforeRename,
+            _ => return None,
+        };
+        Some((point, n.parse().ok()?))
+    })
+}
+
+/// Abort the process if the crash hook targets `point` of store op
+/// number `op` (1-based). Test-only by construction: the variable is
+/// never set outside crash-recovery CI and tests.
+fn crash_hook(point: CrashPoint, op: u64) {
+    if let Some((p, n)) = crash_plan() {
+        if p == point && n == op {
+            eprintln!(
+                "{STORE_CRASH_ENV}: aborting at {} of store op {op}",
+                match point {
+                    CrashPoint::BeforeJournal => "before-journal",
+                    CrashPoint::BeforeRename => "before-rename",
+                }
+            );
+            std::process::abort();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization helpers (fixed-width little-endian; store metadata is
+// tiny, so varint compactness buys nothing over parse simplicity).
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor-based reads that fail (with `None`) on truncation instead of
+/// panicking — manifest and journal bytes are untrusted.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        if len > 4096 {
+            return None; // sanity bound: names and file names are short
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+fn encode_meta(out: &mut Vec<u8>, m: &EntryMeta) {
+    put_u64(out, m.identity.config_digest);
+    put_u64(out, m.identity.seed);
+    put_u64(out, m.identity.warmup_insts);
+    put_u64(out, m.identity.measure_insts);
+    put_u32(out, m.identity.schema);
+    put_u32(out, m.identity.version);
+    put_str(out, &m.identity.name);
+    put_str(out, &m.file);
+    put_u64(out, m.bytes);
+    put_u64(out, m.checksum);
+    put_u64(out, m.generation);
+}
+
+fn decode_meta(c: &mut Cursor<'_>) -> Option<EntryMeta> {
+    Some(EntryMeta {
+        identity: EntryIdentity {
+            config_digest: c.u64()?,
+            seed: c.u64()?,
+            warmup_insts: c.u64()?,
+            measure_insts: c.u64()?,
+            schema: c.u32()?,
+            version: c.u32()?,
+            name: c.str()?,
+        },
+        file: c.str()?,
+        bytes: c.u64()?,
+        checksum: c.u64()?,
+        generation: c.u64()?,
+    })
+}
+
+/// One decoded journal operation.
+#[derive(Debug)]
+enum JournalOp {
+    /// Intent to store `meta` (payload staged in temp file `tmp`).
+    Store { meta: EntryMeta, tmp: String },
+    /// Intent to delete entry file `file`.
+    Evict { file: String },
+}
+
+fn encode_journal_record(op: &JournalOp) -> Vec<u8> {
+    let mut body = Vec::with_capacity(128);
+    match op {
+        JournalOp::Store { meta, tmp } => {
+            encode_meta(&mut body, meta);
+            put_str(&mut body, tmp);
+        }
+        JournalOp::Evict { file } => put_str(&mut body, file),
+    }
+    let kind = match op {
+        JournalOp::Store { .. } => REC_STORE,
+        JournalOp::Evict { .. } => REC_EVICT,
+    };
+    let mut rec = Vec::with_capacity(body.len() + 13);
+    rec.push(kind);
+    put_u32(&mut rec, body.len() as u32);
+    rec.extend_from_slice(&body);
+    let ck = payload_checksum(&rec);
+    put_u64(&mut rec, ck);
+    rec
+}
+
+/// Decode journal records until EOF or the first torn/corrupt record —
+/// everything after a bad record is discarded, exactly as a crashed
+/// appender would have left it.
+fn decode_journal(bytes: &[u8]) -> Vec<JournalOp> {
+    let mut ops = Vec::new();
+    if bytes.len() < JOURNAL_MAGIC.len() + 4 || bytes[..8] != JOURNAL_MAGIC {
+        return ops;
+    }
+    let mut c = Cursor::new(bytes);
+    let _ = c.take(8);
+    match c.u32() {
+        Some(STORE_FORMAT_VERSION) => {}
+        _ => return ops,
+    }
+    loop {
+        let start = c.pos;
+        let Some(kind) = c.take(1).map(|b| b[0]) else {
+            break;
+        };
+        let Some(len) = c.u32() else { break };
+        let Some(body) = c.take(len as usize) else {
+            break;
+        };
+        let Some(ck) = c.u64() else { break };
+        if payload_checksum(&bytes[start..start + 5 + len as usize]) != ck {
+            break;
+        }
+        let mut bc = Cursor::new(body);
+        let op = match kind {
+            REC_STORE => {
+                let Some(meta) = decode_meta(&mut bc) else {
+                    break;
+                };
+                let Some(tmp) = bc.str() else { break };
+                JournalOp::Store { meta, tmp }
+            }
+            REC_EVICT => {
+                let Some(file) = bc.str() else { break };
+                JournalOp::Evict { file }
+            }
+            _ => break,
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Mutable store state behind the instance mutex. `None` until the
+/// first operation triggers the open-time recovery sweep.
+#[derive(Debug)]
+struct State {
+    /// Full-identity index — the in-memory manifest.
+    index: HashMap<EntryIdentity, EntryMeta>,
+    /// Monotonic last-access generation allocator.
+    generation: u64,
+    /// Open append handle on the journal (lazily created).
+    journal: Option<File>,
+    /// Mutations since the last checkpoint.
+    ops_since_checkpoint: u32,
+    /// Anything (including generation bumps) changed since the last
+    /// checkpoint — drives the best-effort checkpoint on drop.
+    dirty: bool,
+    /// What the open-time sweep did (kept for tests/campaigns).
+    recovery: RecoveryStats,
+}
+
+impl State {
+    fn total_bytes(&self) -> u64 {
+        self.index.values().map(|m| m.bytes).sum()
+    }
+}
+
+/// The crash-safe trace store. Shared (via `Arc` inside
+/// [`crate::TraceCache`]) across the suite's worker threads; all
+/// metadata operations serialize on one mutex, payload reads happen
+/// outside it.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    /// Byte budget; `None` = unbounded.
+    budget: Option<u64>,
+    /// Per-instance health counters.
+    pub health: HealthCounters,
+    state: Mutex<Option<State>>,
+}
+
+impl TraceStore {
+    /// A store rooted at `dir`, opened lazily on first use.
+    pub fn new(dir: PathBuf, budget: Option<u64>) -> TraceStore {
+        TraceStore {
+            dir,
+            budget,
+            health: HealthCounters::default(),
+            state: Mutex::new(None),
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Lock the state, running the open-time recovery sweep on first
+    /// touch.
+    fn opened(&self) -> MutexGuard<'_, Option<State>> {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(self.open_sweep());
+        }
+        guard
+    }
+
+    /// Force the lazy open (and its recovery sweep) now; returns what
+    /// the sweep did.
+    pub fn ensure_open(&self) -> RecoveryStats {
+        self.opened().as_ref().expect("opened").recovery
+    }
+
+    // -- open-time recovery -------------------------------------------------
+
+    /// Build the in-memory state: load the manifest, roll the journal
+    /// forward, reconcile against the directory, drop stale schemas,
+    /// enforce the budget, checkpoint.
+    fn open_sweep(&self) -> State {
+        let mut st = State {
+            index: HashMap::new(),
+            generation: 0,
+            journal: None,
+            ops_since_checkpoint: 0,
+            dirty: false,
+            recovery: RecoveryStats::default(),
+        };
+        if !self.dir.is_dir() {
+            return st;
+        }
+
+        // 1. Manifest: the checkpointed index. A torn or corrupt
+        //    manifest is *not* fatal — the directory scan below rebuilds
+        //    the index from the entries themselves.
+        if let Ok(bytes) = fs::read(self.dir.join(MANIFEST_FILE)) {
+            if let Some((gen, entries)) = decode_manifest(&bytes) {
+                st.generation = gen;
+                for m in entries {
+                    st.generation = st.generation.max(m.generation);
+                    st.index.insert(m.identity.clone(), m);
+                }
+            }
+        }
+
+        // 2. Journal: mutations since the checkpoint, rolled forward or
+        //    discarded. Temp files named by surviving store records are
+        //    accounted for so the sweep below does not double-handle
+        //    them.
+        let mut handled_tmp: Vec<String> = Vec::new();
+        let journal_bytes = fs::read(self.dir.join(JOURNAL_FILE)).unwrap_or_default();
+        for op in decode_journal(&journal_bytes) {
+            match op {
+                JournalOp::Store { meta, tmp } => {
+                    handled_tmp.push(tmp.clone());
+                    let final_path = self.dir.join(&meta.file);
+                    let tmp_path = self.dir.join(&tmp);
+                    if file_matches(&final_path, meta.bytes, meta.checksum) {
+                        // The rename completed before the crash (or there
+                        // was no crash): trust the journal row.
+                        st.generation = st.generation.max(meta.generation);
+                        st.index.insert(meta.identity.clone(), meta);
+                    } else if file_matches(&tmp_path, meta.bytes, meta.checksum) {
+                        // Died between journal append and rename: roll
+                        // the store forward.
+                        if fs::rename(&tmp_path, &final_path).is_ok() {
+                            st.recovery.rolled_forward += 1;
+                            st.generation = st.generation.max(meta.generation);
+                            st.index.insert(meta.identity.clone(), meta);
+                        } else {
+                            let _ = fs::remove_file(&tmp_path);
+                            st.recovery.dropped_corrupt += 1;
+                        }
+                    } else {
+                        // Neither side of the rename holds the promised
+                        // payload: discard the intent entirely.
+                        if tmp_path.exists() {
+                            let _ = fs::remove_file(&tmp_path);
+                        }
+                        if final_path.exists() {
+                            let _ = fs::remove_file(&final_path);
+                        }
+                        st.index.remove(&meta.identity);
+                        st.recovery.dropped_corrupt += 1;
+                    }
+                }
+                JournalOp::Evict { file } => {
+                    st.index.retain(|_, m| m.file != file);
+                    let p = self.dir.join(&file);
+                    if p.exists() {
+                        let _ = fs::remove_file(&p);
+                    }
+                }
+            }
+        }
+
+        // 3. Directory reconciliation: adopt untracked valid entries,
+        //    delete corrupt ones, reap stale temp files, drop dangling
+        //    manifest rows.
+        let tracked: std::collections::HashSet<String> =
+            st.index.values().map(|m| m.file.clone()).collect();
+        if let Ok(rd) = fs::read_dir(&self.dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name == MANIFEST_FILE || name == JOURNAL_FILE {
+                    continue;
+                }
+                if name.ends_with(".tmp") {
+                    if !handled_tmp.contains(&name) {
+                        let _ = fs::remove_file(entry.path());
+                        st.recovery.reaped_tmp += 1;
+                    }
+                    continue;
+                }
+                if !name.ends_with(".dcgact") || tracked.contains(&name) {
+                    continue;
+                }
+                match adopt_entry(&entry.path()) {
+                    Some((identity, bytes, checksum)) => {
+                        st.generation += 1;
+                        st.recovery.adopted += 1;
+                        st.index.insert(
+                            identity.clone(),
+                            EntryMeta {
+                                identity,
+                                file: name,
+                                bytes,
+                                checksum,
+                                generation: st.generation,
+                            },
+                        );
+                    }
+                    None => {
+                        let _ = fs::remove_file(entry.path());
+                        st.recovery.dropped_corrupt += 1;
+                    }
+                }
+            }
+        }
+        let dangling: Vec<EntryIdentity> = st
+            .index
+            .iter()
+            .filter(|(_, m)| !self.dir.join(&m.file).is_file())
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in dangling {
+            st.index.remove(&id);
+            st.recovery.dropped_corrupt += 1;
+        }
+
+        // 4. Compaction duties that are always safe at open: drop
+        //    entries from a schema this binary no longer speaks, and
+        //    enforce the byte budget oldest-first.
+        st.recovery.dropped_stale_schema += self.drop_stale_schema(&mut st);
+        st.recovery.evicted_over_budget += self.evict_to_budget(&mut st);
+
+        self.health
+            .adopted_entries
+            .fetch_add(st.recovery.adopted, Ordering::Relaxed);
+        self.health
+            .reaped_tmp
+            .fetch_add(st.recovery.reaped_tmp, Ordering::Relaxed);
+        self.health
+            .rolled_forward
+            .fetch_add(st.recovery.rolled_forward, Ordering::Relaxed);
+        self.health
+            .dropped_corrupt
+            .fetch_add(st.recovery.dropped_corrupt, Ordering::Relaxed);
+        crate::cache::note_recovery(&st.recovery);
+
+        // 5. Checkpoint the reconciled state so the next open starts
+        //    from a clean manifest and an empty journal.
+        let _ = self.checkpoint_locked(&mut st);
+        st
+    }
+
+    /// Delete entries whose recorded schema/version is not live.
+    /// Returns how many were dropped.
+    fn drop_stale_schema(&self, st: &mut State) -> u64 {
+        let stale: Vec<EntryIdentity> = st
+            .index
+            .keys()
+            .filter(|id| !id.is_live_schema())
+            .cloned()
+            .collect();
+        let n = stale.len() as u64;
+        for id in stale {
+            if let Some(m) = st.index.remove(&id) {
+                let _ = fs::remove_file(self.dir.join(&m.file));
+                st.dirty = true;
+            }
+        }
+        n
+    }
+
+    /// Evict oldest-generation entries until the byte budget holds.
+    /// Returns how many were evicted.
+    fn evict_to_budget(&self, st: &mut State) -> u64 {
+        let Some(budget) = self.budget else { return 0 };
+        let mut evicted = 0;
+        while st.total_bytes() > budget && !st.index.is_empty() {
+            let oldest = st
+                .index
+                .values()
+                .min_by_key(|m| m.generation)
+                .expect("non-empty index")
+                .identity
+                .clone();
+            self.evict_locked(st, &oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    // -- checkpoint ---------------------------------------------------------
+
+    /// Rewrite the manifest (temp file + rename) and truncate the
+    /// journal. Soft-fails into the store-failure counter via the
+    /// caller; returns the error for callers that care.
+    fn checkpoint_locked(&self, st: &mut State) -> Result<(), StoreError> {
+        if !self.dir.is_dir() {
+            // Nothing was ever stored; there is nothing to persist and
+            // creating the directory as a side effect of *reading*
+            // would be a surprise.
+            st.dirty = false;
+            st.ops_since_checkpoint = 0;
+            return Ok(());
+        }
+        let mut rows: Vec<&EntryMeta> = st.index.values().collect();
+        rows.sort_by(|a, b| a.file.cmp(&b.file));
+        let mut out = Vec::with_capacity(64 + rows.len() * 96);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        put_u32(&mut out, STORE_FORMAT_VERSION);
+        put_u64(&mut out, st.generation);
+        put_u32(&mut out, rows.len() as u32);
+        for m in rows {
+            encode_meta(&mut out, m);
+        }
+        let ck = payload_checksum(&out);
+        put_u64(&mut out, ck);
+
+        let tmp = self.dir.join(format!(
+            "{MANIFEST_FILE}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = || -> io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+            fs::rename(&tmp, self.dir.join(MANIFEST_FILE))
+        };
+        if let Err(e) = write() {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError {
+                what: "manifest checkpoint",
+                source: e,
+            });
+        }
+        // Manifest is durable: restart the journal.
+        st.journal = None;
+        let fresh = || -> io::Result<File> {
+            let mut f = File::create(self.dir.join(JOURNAL_FILE))?;
+            f.write_all(&JOURNAL_MAGIC)?;
+            f.write_all(&STORE_FORMAT_VERSION.to_le_bytes())?;
+            f.sync_all()?;
+            Ok(f)
+        };
+        match fresh() {
+            Ok(f) => st.journal = Some(f),
+            Err(e) => {
+                return Err(StoreError {
+                    what: "journal restart",
+                    source: e,
+                })
+            }
+        }
+        st.ops_since_checkpoint = 0;
+        st.dirty = false;
+        Ok(())
+    }
+
+    /// Public checkpoint: fold the journal into a fresh manifest now.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let mut guard = self.opened();
+        let st = guard.as_mut().expect("opened");
+        self.checkpoint_locked(st)
+    }
+
+    /// Append one journal record, creating the journal lazily.
+    /// Soft-fails (counted by the caller): a lost journal record only
+    /// costs recovery the roll-forward shortcut — the directory scan
+    /// still adopts the entry.
+    fn journal_append(&self, st: &mut State, op: &JournalOp) -> Result<(), StoreError> {
+        if st.journal.is_none() {
+            let open = || -> io::Result<File> {
+                let path = self.dir.join(JOURNAL_FILE);
+                let exists = path.is_file() && fs::metadata(&path).map_or(0, |m| m.len()) > 0;
+                let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
+                if !exists {
+                    f.write_all(&JOURNAL_MAGIC)?;
+                    f.write_all(&STORE_FORMAT_VERSION.to_le_bytes())?;
+                }
+                Ok(f)
+            };
+            st.journal = Some(open().map_err(|e| StoreError {
+                what: "journal open",
+                source: e,
+            })?);
+        }
+        let f = st.journal.as_mut().expect("journal opened above");
+        let rec = encode_journal_record(op);
+        f.write_all(&rec)
+            .and_then(|()| f.sync_data())
+            .map_err(|e| StoreError {
+                what: "journal append",
+                source: e,
+            })
+    }
+
+    // -- mutations ----------------------------------------------------------
+
+    /// Store `bytes` for `identity` under filename key `key`
+    /// (disambiguated if a different identity already owns the key's
+    /// file name). Failures never abort the caller's run; they are
+    /// counted into [`HealthCounters::store_failures`].
+    pub fn insert(&self, identity: &EntryIdentity, key: u64, bytes: &[u8]) {
+        let mut guard = self.opened();
+        let st = guard.as_mut().expect("opened");
+        if let Err(what) = self.insert_locked(st, identity, key, bytes) {
+            self.health.store_failures.fetch_add(1, Ordering::Relaxed);
+            crate::cache::note_store_failure(&self.dir, what);
+        }
+    }
+
+    fn insert_locked(
+        &self,
+        st: &mut State,
+        identity: &EntryIdentity,
+        key: u64,
+        bytes: &[u8],
+    ) -> Result<(), &'static str> {
+        if fs::create_dir_all(&self.dir).is_err() {
+            return Err("cannot create store directory");
+        }
+        let file = self.file_for(st, identity, key);
+        let tmp = format!(
+            "{file}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let tmp_path = self.dir.join(&tmp);
+        let write = || -> io::Result<()> {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        };
+        if write().is_err() {
+            let _ = fs::remove_file(&tmp_path);
+            return Err("cannot write temp file");
+        }
+
+        let op = STORE_OPS.fetch_add(1, Ordering::Relaxed) + 1;
+        crash_hook(CrashPoint::BeforeJournal, op);
+
+        st.generation += 1;
+        let meta = EntryMeta {
+            identity: identity.clone(),
+            file: file.clone(),
+            bytes: bytes.len() as u64,
+            checksum: payload_checksum(bytes),
+            generation: st.generation,
+        };
+        // Journal the intent first: after this record is durable, a
+        // crash on either side of the rename is recoverable.
+        if let Err(e) = self.journal_append(
+            st,
+            &JournalOp::Store {
+                meta: meta.clone(),
+                tmp: tmp.clone(),
+            },
+        ) {
+            // A store without a journal row still recovers through the
+            // directory scan; degrade, but count it.
+            crate::cache::note_store_failure(&self.dir, e.what);
+            self.health.store_failures.fetch_add(1, Ordering::Relaxed);
+        }
+
+        crash_hook(CrashPoint::BeforeRename, op);
+
+        if fs::rename(&tmp_path, self.dir.join(&file)).is_err() {
+            let _ = fs::remove_file(&tmp_path);
+            return Err("cannot rename temp file into place");
+        }
+        st.index.insert(identity.clone(), meta);
+        st.dirty = true;
+        st.ops_since_checkpoint += 1;
+        self.evict_to_budget(st);
+        if st.ops_since_checkpoint >= CHECKPOINT_EVERY {
+            if let Err(e) = self.checkpoint_locked(st) {
+                crate::cache::note_store_failure(&self.dir, e.what);
+                self.health.store_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// The on-disk file name for `identity`, reusing an existing
+    /// entry's name on re-store and disambiguating (and counting) key
+    /// collisions between distinct identities.
+    fn file_for(&self, st: &mut State, identity: &EntryIdentity, key: u64) -> String {
+        if let Some(m) = st.index.get(identity) {
+            return m.file.clone();
+        }
+        let base = format!("{}-{key:016x}.dcgact", identity.name);
+        let taken = |st: &State, f: &str| st.index.values().any(|m| m.file == f);
+        if !taken(st, &base) {
+            return base;
+        }
+        // A different identity owns the key's file name: a 64-bit key
+        // collision. The manifest keeps both under distinct names — the
+        // flat layout would have let them overwrite each other forever.
+        self.health.key_collisions.fetch_add(1, Ordering::Relaxed);
+        crate::cache::note_key_collision();
+        let mut n = 1u32;
+        loop {
+            let cand = format!("{}-{key:016x}-{n}.dcgact", identity.name);
+            if !taken(st, &cand) {
+                return cand;
+            }
+            n += 1;
+        }
+    }
+
+    /// Remove one entry: journal the eviction, delete the file, drop
+    /// the index row.
+    fn evict_locked(&self, st: &mut State, identity: &EntryIdentity) {
+        let Some(meta) = st.index.remove(identity) else {
+            return;
+        };
+        if let Err(e) = self.journal_append(
+            st,
+            &JournalOp::Evict {
+                file: meta.file.clone(),
+            },
+        ) {
+            crate::cache::note_store_failure(&self.dir, e.what);
+            self.health.store_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        let path = self.dir.join(&meta.file);
+        if path.exists() {
+            if let Err(e) = fs::remove_file(&path) {
+                self.health.evict_failures.fetch_add(1, Ordering::Relaxed);
+                crate::cache::note_evict_failure(&path, &e);
+            }
+        }
+        st.dirty = true;
+        st.ops_since_checkpoint += 1;
+    }
+
+    /// Public eviction of one identity (used when a validated entry
+    /// fails mid-replay).
+    pub fn evict(&self, identity: &EntryIdentity) {
+        let mut guard = self.opened();
+        let st = guard.as_mut().expect("opened");
+        self.evict_locked(st, identity);
+    }
+
+    // -- lookups ------------------------------------------------------------
+
+    /// Fetch the payload for `identity` through the manifest index: a
+    /// hit verifies the whole-payload checksum (memory speed) and bumps
+    /// the entry's last-access generation; any mismatch evicts the
+    /// entry and misses cleanly.
+    pub fn fetch(&self, identity: &EntryIdentity) -> Option<Vec<u8>> {
+        let meta = {
+            let mut guard = self.opened();
+            let st = guard.as_mut().expect("opened");
+            let gen = st.generation + 1;
+            let m = st.index.get_mut(identity)?;
+            st.generation = gen;
+            m.generation = gen;
+            st.dirty = true;
+            m.clone()
+        };
+        let path = self.dir.join(&meta.file);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.evict(identity);
+                return None;
+            }
+        };
+        if bytes.len() as u64 != meta.bytes || payload_checksum(&bytes) != meta.checksum {
+            self.evict(identity);
+            return None;
+        }
+        Some(bytes)
+    }
+
+    /// The path the entry for `identity` occupies (or would occupy).
+    /// The fault campaign uses this to corrupt stored entries in place.
+    pub fn entry_path(&self, identity: &EntryIdentity, key: u64) -> PathBuf {
+        let mut guard = self.opened();
+        let st = guard.as_mut().expect("opened");
+        match st.index.get(identity) {
+            Some(m) => self.dir.join(&m.file),
+            None => self
+                .dir
+                .join(format!("{}-{key:016x}.dcgact", identity.name)),
+        }
+    }
+
+    /// What the open-time recovery sweep did (forces the open).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.ensure_open()
+    }
+
+    /// Verify every tracked entry's payload checksum, evicting
+    /// failures. This is the lookup path run over the whole store — the
+    /// bench harness times it as the per-entry lookup cost.
+    pub fn verify_all(&self) -> StoreScan {
+        let identities: Vec<EntryIdentity> = {
+            let mut guard = self.opened();
+            let st = guard.as_mut().expect("opened");
+            st.index.keys().cloned().collect()
+        };
+        let mut scan = StoreScan::default();
+        for id in identities {
+            match self.fetch(&id) {
+                Some(bytes) => {
+                    scan.valid += 1;
+                    scan.bytes += bytes.len() as u64;
+                }
+                None => scan.invalid += 1,
+            }
+        }
+        scan
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        let mut guard = self.opened();
+        guard.as_mut().expect("opened").index.len()
+    }
+
+    /// `true` when no entries are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compaction pass: drop stale-schema entries, enforce the byte
+    /// budget, checkpoint. Cheap enough to run on a background thread
+    /// ([`crate::TraceCache::spawn_compaction`]); deleting only
+    /// dead-schema or over-budget entries keeps it invisible to
+    /// concurrent live-schema lookups.
+    pub fn compact_now(&self) -> RecoveryStats {
+        let mut guard = self.opened();
+        let st = guard.as_mut().expect("opened");
+        let mut stats = RecoveryStats {
+            dropped_stale_schema: self.drop_stale_schema(st),
+            ..RecoveryStats::default()
+        };
+        stats.evicted_over_budget = self.evict_to_budget(st);
+        if st.dirty {
+            if let Err(e) = self.checkpoint_locked(st) {
+                crate::cache::note_store_failure(&self.dir, e.what);
+                self.health.store_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        st.recovery.dropped_stale_schema += stats.dropped_stale_schema;
+        st.recovery.evicted_over_budget += stats.evicted_over_budget;
+        stats
+    }
+}
+
+impl Drop for TraceStore {
+    fn drop(&mut self) {
+        // Best-effort durability for short-lived processes: fold any
+        // journal tail and generation bumps into the manifest. Failure
+        // is fine — the journal and directory scan recover everything
+        // the checkpoint would have persisted.
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(st) = guard.as_mut() {
+            if st.dirty {
+                let _ = self.checkpoint_locked(st);
+            }
+        }
+    }
+}
+
+/// `true` when `path` holds exactly `bytes` bytes with checksum `ck`.
+fn file_matches(path: &Path, bytes: u64, ck: u64) -> bool {
+    match fs::read(path) {
+        Ok(b) => b.len() as u64 == bytes && payload_checksum(&b) == ck,
+        Err(_) => false,
+    }
+}
+
+/// Validate an untracked `.dcgact` file for adoption: parse the
+/// activity header, verify the trace's own totals, and derive the full
+/// identity from the header (adopted entries are by construction
+/// current-schema — the reader rejects anything else).
+fn adopt_entry(path: &Path) -> Option<(EntryIdentity, u64, u64)> {
+    let bytes = fs::read(path).ok()?;
+    let reader = ActivityTraceReader::new(&bytes[..]).ok()?;
+    let (_cycles, committed) = reader.verified_totals()?;
+    let h = reader.header();
+    if committed < h.warmup_insts + h.measure_insts {
+        return None;
+    }
+    let identity = EntryIdentity::current(
+        h.config_digest,
+        &h.name,
+        h.seed,
+        h.warmup_insts,
+        h.measure_insts,
+    );
+    Some((identity, bytes.len() as u64, payload_checksum(&bytes)))
+}
+
+/// Decode a manifest; `None` on any structural or checksum failure.
+fn decode_manifest(bytes: &[u8]) -> Option<(u64, Vec<EntryMeta>)> {
+    if bytes.len() < 8 + 4 + 8 + 4 + 8 || bytes[..8] != MANIFEST_MAGIC {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let ck = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
+    if payload_checksum(body) != ck {
+        return None;
+    }
+    let mut c = Cursor::new(body);
+    let _ = c.take(8);
+    if c.u32()? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    let generation = c.u64()?;
+    let count = c.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        entries.push(decode_meta(&mut c)?);
+    }
+    if c.pos != body.len() {
+        return None; // trailing garbage under a valid checksum: reject
+    }
+    Some((generation, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("target")
+            .join("tmp")
+            .join(format!("trace-store-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ident(name: &str, seed: u64) -> EntryIdentity {
+        EntryIdentity::current(0xABCD, name, seed, 10, 20)
+    }
+
+    /// Opaque non-trace payloads exercise the metadata machinery alone;
+    /// checksums do not care what the bytes mean.
+    fn payload(tag: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| tag ^ (i as u8)).collect()
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_corruption() {
+        let dir = scratch("manifest-roundtrip");
+        let store = TraceStore::new(dir.clone(), None);
+        store.insert(&ident("a", 1), 0x11, &payload(1, 100));
+        store.insert(&ident("b", 2), 0x22, &payload(2, 200));
+        store.checkpoint().expect("checkpoint");
+        drop(store);
+
+        let bytes = fs::read(dir.join(MANIFEST_FILE)).unwrap();
+        let (_gen, entries) = decode_manifest(&bytes).expect("valid manifest");
+        assert_eq!(entries.len(), 2);
+
+        for at in [9, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                decode_manifest(&bad).is_none(),
+                "bit flip at {at} must invalidate the manifest"
+            );
+        }
+        assert!(decode_manifest(&bytes[..bytes.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn journal_replay_stops_at_torn_tail() {
+        let mut j = Vec::new();
+        j.extend_from_slice(&JOURNAL_MAGIC);
+        j.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+        let m = EntryMeta {
+            identity: ident("x", 9),
+            file: "x-1.dcgact".into(),
+            bytes: 4,
+            checksum: 99,
+            generation: 1,
+        };
+        j.extend_from_slice(&encode_journal_record(&JournalOp::Store {
+            meta: m.clone(),
+            tmp: "x-1.dcgact.1.0.tmp".into(),
+        }));
+        let good_len = j.len();
+        j.extend_from_slice(&encode_journal_record(&JournalOp::Evict {
+            file: "x-1.dcgact".into(),
+        }));
+
+        assert_eq!(decode_journal(&j).len(), 2, "intact journal replays all");
+        // Torn tail: any truncation inside the second record drops it
+        // (and only it).
+        for cut in good_len + 1..j.len() {
+            let ops = decode_journal(&j[..cut]);
+            assert_eq!(ops.len(), 1, "cut at {cut} keeps exactly the first record");
+        }
+        // Corrupt second record: same outcome.
+        let mut bad = j.clone();
+        let last = bad.len() - 3;
+        bad[last] ^= 1;
+        assert_eq!(decode_journal(&bad).len(), 1);
+    }
+
+    #[test]
+    fn fetch_verifies_checksum_and_evicts_corrupt_entries() {
+        let dir = scratch("fetch-verify");
+        let store = TraceStore::new(dir.clone(), None);
+        let id = ident("gz", 7);
+        store.insert(&id, 0x77, &payload(7, 500));
+        assert_eq!(store.fetch(&id).expect("hit"), payload(7, 500));
+
+        let path = store.entry_path(&id, 0x77);
+        let mut b = fs::read(&path).unwrap();
+        b[250] ^= 0x10;
+        fs::write(&path, &b).unwrap();
+        assert!(store.fetch(&id).is_none(), "corruption must miss cleanly");
+        assert!(!path.exists(), "the corrupt entry must be evicted");
+        assert!(store.fetch(&id).is_none(), "and stay evicted");
+    }
+
+    #[test]
+    fn key_collision_keeps_both_identities() {
+        let dir = scratch("key-collision");
+        let store = TraceStore::new(dir, None);
+        // Two distinct identities forced onto the same 64-bit filename
+        // key: the store must disambiguate, count the collision, and
+        // serve both — the flat layout overwrote one with the other and
+        // thrashed forever.
+        let a = ident("gzip", 1);
+        let b = ident("gzip", 2);
+        let key = 0xDEAD_BEEF_u64;
+        store.insert(&a, key, &payload(1, 300));
+        store.insert(&b, key, &payload(2, 300));
+        assert_eq!(store.health.key_collisions.load(Ordering::Relaxed), 1);
+        assert_eq!(store.fetch(&a).expect("a stays warm"), payload(1, 300));
+        assert_eq!(store.fetch(&b).expect("b stays warm"), payload(2, 300));
+        assert_ne!(
+            store.entry_path(&a, key),
+            store.entry_path(&b, key),
+            "colliding identities occupy distinct files"
+        );
+        // Re-storing either identity reuses its file and is not another
+        // collision.
+        store.insert(&a, key, &payload(3, 300));
+        assert_eq!(store.health.key_collisions.load(Ordering::Relaxed), 1);
+        assert_eq!(store.fetch(&a).expect("a refreshed"), payload(3, 300));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_generation_first() {
+        let dir = scratch("budget");
+        let store = TraceStore::new(dir, Some(1_000));
+        let (a, b, c) = (ident("a", 1), ident("b", 2), ident("c", 3));
+        store.insert(&a, 1, &payload(1, 400));
+        store.insert(&b, 2, &payload(2, 400));
+        // Touch `a` so `b` becomes the oldest generation.
+        assert!(store.fetch(&a).is_some());
+        store.insert(&c, 3, &payload(3, 400));
+        assert!(store.fetch(&b).is_none(), "oldest-generation entry evicts");
+        assert!(store.fetch(&a).is_some(), "recently used entry survives");
+        assert!(store.fetch(&c).is_some(), "newest entry survives");
+    }
+
+    #[test]
+    fn orphan_tmp_files_are_reaped_exactly_once() {
+        let dir = scratch("orphan-tmp");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("gz-00ff.dcgact.123.0.tmp"), b"dead writer").unwrap();
+        fs::write(dir.join("junk.tmp"), b"also dead").unwrap();
+
+        let store = TraceStore::new(dir.clone(), None);
+        let stats = store.ensure_open();
+        assert_eq!(stats.reaped_tmp, 2, "both orphans reaped");
+        assert!(!dir.join("gz-00ff.dcgact.123.0.tmp").exists());
+        assert!(!dir.join("junk.tmp").exists());
+        drop(store);
+
+        let store2 = TraceStore::new(dir, None);
+        assert_eq!(
+            store2.ensure_open().reaped_tmp,
+            0,
+            "reaping happens exactly once"
+        );
+    }
+
+    #[test]
+    fn torn_manifest_recovers_from_directory_scan() {
+        let dir = scratch("torn-manifest");
+        // Opaque payloads cannot be adopted by the directory scan (they
+        // do not parse as activity traces), so this test uses the
+        // journal-surviving path: manifest destroyed, journal intact.
+        let store = TraceStore::new(dir.clone(), None);
+        let id = ident("gz", 5);
+        store.insert(&id, 0x5, &payload(5, 256));
+        store.checkpoint().expect("checkpoint");
+        // Re-store after the checkpoint so the journal holds the row;
+        // leak the store so its drop-time checkpoint cannot fold the
+        // journal into the manifest before the test tears it.
+        store.insert(&id, 0x5, &payload(6, 256));
+        std::mem::forget(store);
+
+        let manifest = dir.join(MANIFEST_FILE);
+        let bytes = fs::read(&manifest).unwrap();
+        fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let store2 = TraceStore::new(dir, None);
+        assert_eq!(
+            store2
+                .fetch(&id)
+                .expect("journal row survives a torn manifest"),
+            payload(6, 256)
+        );
+    }
+
+    #[test]
+    fn crash_between_journal_and_rename_rolls_forward() {
+        let dir = scratch("roll-forward");
+        // Simulate the torn state by hand: temp file written, journal
+        // row appended, rename never happened.
+        fs::create_dir_all(&dir).unwrap();
+        let body = payload(9, 128);
+        let meta = EntryMeta {
+            identity: ident("gz", 9),
+            file: "gz-0000000000000009.dcgact".into(),
+            bytes: body.len() as u64,
+            checksum: payload_checksum(&body),
+            generation: 1,
+        };
+        let tmp = "gz-0000000000000009.dcgact.42.0.tmp".to_string();
+        fs::write(dir.join(&tmp), &body).unwrap();
+        let mut j = Vec::new();
+        j.extend_from_slice(&JOURNAL_MAGIC);
+        j.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+        j.extend_from_slice(&encode_journal_record(&JournalOp::Store {
+            meta: meta.clone(),
+            tmp: tmp.clone(),
+        }));
+        fs::write(dir.join(JOURNAL_FILE), &j).unwrap();
+
+        let store = TraceStore::new(dir.clone(), None);
+        let stats = store.ensure_open();
+        assert_eq!(stats.rolled_forward, 1, "the store completes the rename");
+        assert_eq!(stats.reaped_tmp, 0, "the journaled tmp is not an orphan");
+        assert_eq!(store.fetch(&meta.identity).expect("rolled forward"), body);
+        assert!(!dir.join(&tmp).exists());
+    }
+
+    #[test]
+    fn dangling_manifest_rows_are_dropped() {
+        let dir = scratch("dangling");
+        let store = TraceStore::new(dir.clone(), None);
+        let id = ident("gz", 3);
+        store.insert(&id, 3, &payload(3, 64));
+        store.checkpoint().expect("checkpoint");
+        drop(store);
+        fs::remove_file(dir.join("gz-0000000000000003.dcgact")).unwrap();
+
+        let store2 = TraceStore::new(dir, None);
+        let stats = store2.ensure_open();
+        assert_eq!(stats.dropped_corrupt, 1, "the dangling row is dropped");
+        assert!(store2.fetch(&id).is_none());
+    }
+}

@@ -27,9 +27,9 @@ use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use dcg_core::{
-    run_passive, run_passive_source, run_passive_with_sinks, ActivitySink, CacheHealth, Dcg,
-    FaultPlan, FaultPoint, FaultSpec, FaultyPolicy, PanicSink, PolicyOutcome, ReplaySource,
-    RunLength, TraceCache,
+    run_passive, run_passive_source, run_passive_with_sinks, ActivitySink, Dcg, FaultPlan,
+    FaultPoint, FaultSpec, FaultyPolicy, PanicSink, PolicyOutcome, ReplaySource, RunLength,
+    TraceCache, JOURNAL_FILE, MANIFEST_FILE,
 };
 use dcg_power::Component;
 use dcg_sim::{LatchGroups, Processor, SimConfig};
@@ -234,6 +234,9 @@ impl Context {
             FaultPoint::CacheStoreIo => self.inject_cache_store_io(spec),
             FaultPoint::CacheLoadCorrupt => self.inject_cache_load_corrupt(spec),
             FaultPoint::SinkPanic => self.inject_sink_panic(spec),
+            FaultPoint::ManifestTorn => self.inject_manifest_torn(spec),
+            FaultPoint::JournalTruncate => self.inject_journal_truncate(spec),
+            FaultPoint::StoreOrphanTmp => self.inject_store_orphan_tmp(spec),
             _ => unreachable!("every point is dispatched above"),
         };
         FaultOutcome {
@@ -374,7 +377,7 @@ impl Context {
 
     /// Root the cache under a regular file so store I/O fails: the run
     /// must complete on the live path and the failure must be counted in
-    /// [`CacheHealth`].
+    /// [`dcg_core::CacheHealth`].
     fn inject_cache_store_io(&self, spec: FaultSpec) -> (FaultClass, String) {
         let dir = self.scratch.join(format!("fault-{}", spec.id));
         fs::create_dir_all(&dir).expect("scratch dir");
@@ -382,7 +385,10 @@ impl Context {
         fs::write(&blocker, b"not a directory").expect("blocker file");
         let cache = TraceCache::new(blocker.join("cache"));
 
-        let before = CacheHealth::snapshot().store_failures;
+        // Per-instance counters attribute the failure to *this* cache
+        // even while other campaign faults (or parallel tests) run —
+        // the process-wide snapshot cannot make that distinction.
+        let before = cache.health().store_failures;
         let groups = LatchGroups::new(&self.cfg.depth);
         let mut dcg = Dcg::new(&self.cfg, &groups);
         let mut run = cache
@@ -394,7 +400,7 @@ impl Context {
                 &mut [&mut dcg],
             )
             .expect("a failed store never fails the run");
-        let counted = CacheHealth::snapshot().store_failures - before;
+        let counted = cache.health().store_failures - before;
 
         if outcome_bits(&run.outcomes.remove(0)) != self.clean_bits {
             (
@@ -486,6 +492,157 @@ impl Context {
                 "the seeded sink never fired".to_string(),
             ),
         }
+    }
+
+    /// Warm run through a reopened cache, compared bit-for-bit against
+    /// the clean reference — the common verdict step for the store-level
+    /// faults: the injected damage must cost at most a re-simulation,
+    /// never results.
+    fn reopened_run_matches_clean(
+        &self,
+        cache: &TraceCache,
+        context: &str,
+    ) -> (FaultClass, String) {
+        let groups = LatchGroups::new(&self.cfg.depth);
+        let mut dcg = Dcg::new(&self.cfg, &groups);
+        match cache.run_passive_cached(
+            &self.cfg,
+            self.profile,
+            WORKLOAD_SEED,
+            self.length,
+            &mut [&mut dcg],
+        ) {
+            Err(e) => (
+                FaultClass::Detected,
+                format!("{context}; the cached run surfaced a named error: {e}"),
+            ),
+            Ok(mut run) => {
+                let scan = cache.verify_all();
+                if scan.invalid > 0 {
+                    (
+                        FaultClass::Undetected,
+                        format!(
+                            "{context}; recovery left {} invalid entr{} tracked",
+                            scan.invalid,
+                            if scan.invalid == 1 { "y" } else { "ies" }
+                        ),
+                    )
+                } else if outcome_bits(&run.outcomes.remove(0)) == self.clean_bits {
+                    (
+                        FaultClass::Masked,
+                        format!("{context}; results bit-identical to clean reference"),
+                    )
+                } else {
+                    (
+                        FaultClass::Undetected,
+                        format!("{context}; results diverged from the clean reference"),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Tear the store manifest at a seeded offset (truncation or bit
+    /// flip), then reopen: the recovery sweep must rebuild the index
+    /// from the journal and the directory scan — never trust the torn
+    /// bytes — and the next run must reproduce clean results.
+    fn inject_manifest_torn(&self, spec: FaultSpec) -> (FaultClass, String) {
+        let cache = self.fault_cache(spec);
+        let (_path, _bytes) = self.recorded_entry(&cache, self.length);
+        cache
+            .checkpoint()
+            .expect("checkpointing a scratch store succeeds");
+        let dir = cache.dir().to_path_buf();
+        drop(cache);
+
+        let manifest = dir.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&manifest).expect("the checkpoint wrote a manifest");
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let detail = if rng.gen_range(0u64..2) == 0 {
+            let cut = 1 + rng.gen_range(0u64..bytes.len() as u64 - 1) as usize;
+            bytes.truncate(cut);
+            format!("manifest truncated to {cut} bytes")
+        } else {
+            let at = rng.gen_range(0u64..bytes.len() as u64) as usize;
+            let bit = rng.gen_range(0u32..8);
+            bytes[at] ^= 1 << bit;
+            format!("manifest bit {bit} of byte {at} flipped")
+        };
+        fs::write(&manifest, &bytes).expect("rewrite the torn manifest");
+
+        self.reopened_run_matches_clean(&TraceCache::new(dir), &detail)
+    }
+
+    /// Truncate the store journal at a seeded offset inside its tail
+    /// record (a crashed appender), then reopen: replay must discard the
+    /// torn record and recover the entry from the directory scan.
+    fn inject_journal_truncate(&self, spec: FaultSpec) -> (FaultClass, String) {
+        let cache = self.fault_cache(spec);
+        let (_path, _bytes) = self.recorded_entry(&cache, self.length);
+        let dir = cache.dir().to_path_buf();
+        // Leak the cache so its drop-time checkpoint cannot fold the
+        // fresh store record out of the journal before we truncate it.
+        std::mem::forget(cache);
+
+        let journal = dir.join(JOURNAL_FILE);
+        let bytes = fs::read(&journal).expect("the store appended a journal record");
+        let header = 12; // magic + format version
+        assert!(
+            bytes.len() > header,
+            "the journal must hold the store record"
+        );
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let cut = header + rng.gen_range(0u64..(bytes.len() - header) as u64) as usize;
+        fs::write(&journal, &bytes[..cut]).expect("truncate the journal");
+
+        self.reopened_run_matches_clean(
+            &TraceCache::new(dir),
+            &format!("journal truncated to {cut} of {} bytes", bytes.len()),
+        )
+    }
+
+    /// Strand orphaned `.tmp` files (a writer that died before its
+    /// journal record), then reopen: the sweep must reap them exactly
+    /// once and leave the tracked entry warm.
+    fn inject_store_orphan_tmp(&self, spec: FaultSpec) -> (FaultClass, String) {
+        let cache = self.fault_cache(spec);
+        let (_path, _bytes) = self.recorded_entry(&cache, self.length);
+        let dir = cache.dir().to_path_buf();
+        drop(cache);
+
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let orphans = 1 + rng.gen_range(0u64..3);
+        for i in 0..orphans {
+            let name = format!("orphan-{:08x}.{i}.tmp", rng.gen_range(0u64..u64::MAX));
+            fs::write(dir.join(name), b"dead writer payload").expect("plant orphan tmp");
+        }
+
+        let reopened = TraceCache::new(dir.clone());
+        let stats = reopened.ensure_open();
+        if stats.reaped_tmp != orphans {
+            return (
+                FaultClass::Undetected,
+                format!(
+                    "planted {orphans} orphan tmp files, sweep reaped {}",
+                    stats.reaped_tmp
+                ),
+            );
+        }
+        let leftovers = fs::read_dir(&dir)
+            .expect("store dir")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        if leftovers > 0 {
+            return (
+                FaultClass::Undetected,
+                format!("{leftovers} orphan tmp files survived the sweep"),
+            );
+        }
+        self.reopened_run_matches_clean(
+            &reopened,
+            &format!("{orphans} orphan tmp files reaped exactly once"),
+        )
     }
 }
 

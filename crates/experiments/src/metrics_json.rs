@@ -218,6 +218,7 @@ pub fn suite_metrics_json(suite: &Suite) -> Json {
                 ("store_failures", Json::u64(health.store_failures)),
                 ("evict_failures", Json::u64(health.evict_failures)),
                 ("replay_failures", Json::u64(health.replay_failures)),
+                ("key_collisions", Json::u64(health.key_collisions)),
             ]),
         ),
     ])

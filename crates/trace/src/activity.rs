@@ -194,6 +194,19 @@ fn record_checksum(bytes: &[u8]) -> u64 {
     c.finish()
 }
 
+/// The activity format's 4-lane payload checksum over an arbitrary byte
+/// slice — the same function the trace trailer and per-block subheaders
+/// use, exported so the trace *store* (manifest rows, journal records,
+/// whole-entry fingerprints) shares one integrity primitive instead of
+/// inventing a second one.
+///
+/// Not cryptographic: it guards against truncation, torn writes and bit
+/// rot, and runs near memory speed.
+#[must_use]
+pub fn payload_checksum(bytes: &[u8]) -> u64 {
+    record_checksum(bytes)
+}
+
 fn read_u32<R: Read>(r: &mut R, what: &'static str) -> Result<u32, TraceError> {
     u32::try_from(varint::read_u64(r)?).map_err(|_| TraceError::BadActivity(what))
 }

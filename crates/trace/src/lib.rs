@@ -46,9 +46,9 @@ mod varint;
 mod writer;
 
 pub use activity::{
-    ActivityHeader, ActivityTraceReader, ActivityTraceWriter, ACTIVITY_BLOCK_HEADER_LEN,
-    ACTIVITY_MAGIC, ACTIVITY_SCHEMA, ACTIVITY_TRAILER_LEN, ACTIVITY_TRAILER_MAGIC,
-    ACTIVITY_VERSION, MAX_GRANTS, MAX_GROUPS,
+    payload_checksum, ActivityHeader, ActivityTraceReader, ActivityTraceWriter,
+    ACTIVITY_BLOCK_HEADER_LEN, ACTIVITY_MAGIC, ACTIVITY_SCHEMA, ACTIVITY_TRAILER_LEN,
+    ACTIVITY_TRAILER_MAGIC, ACTIVITY_VERSION, MAX_GRANTS, MAX_GROUPS,
 };
 pub use error::TraceError;
 pub use format::{Header, MAGIC, VERSION};
