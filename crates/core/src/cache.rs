@@ -343,9 +343,20 @@ impl TraceCache {
         self.store.checkpoint().map_err(DcgError::from)
     }
 
-    /// Verify every tracked entry's payload checksum, evicting failures.
+    /// Deep scan: verify every tracked entry's payload checksum,
+    /// evicting failures (see [`TraceStore::verify_all`]).
+    ///
+    /// [`TraceStore::verify_all`]: crate::store::TraceStore::verify_all
     pub fn verify_all(&self) -> StoreScan {
         self.store.verify_all()
+    }
+
+    /// Fast scan: resolve every tracked entry through the warm lookup
+    /// path — no payload checksum (see [`TraceStore::lookup_all`]).
+    ///
+    /// [`TraceStore::lookup_all`]: crate::store::TraceStore::lookup_all
+    pub fn lookup_all(&self) -> StoreScan {
+        self.store.lookup_all()
     }
 
     /// Run a compaction pass now: drop stale-schema entries, enforce the
@@ -415,13 +426,12 @@ impl TraceCache {
 
     /// Open a validated replay source for the tuple, or `None` on a cache
     /// miss. The manifest index answers the identity match before any
-    /// file I/O; the hit then verifies the manifest's whole-payload
-    /// checksum (memory speed, no decode) and re-checks the header
-    /// identity fields as defense in depth. Invalid entries are evicted.
+    /// file I/O; the hit is opened zero-copy (`mmap(2)` where available,
+    /// no whole-payload scan for verified rows — see
+    /// [`TraceStore::fetch_data`]) and the header identity fields are
+    /// re-checked as defense in depth. Invalid entries are evicted.
     ///
-    /// The whole entry is loaded into memory first — entries are a few
-    /// megabytes, and slice decoding is what makes replay beat a live
-    /// simulation.
+    /// [`TraceStore::fetch_data`]: crate::store::TraceStore::fetch_data
     pub fn replay_source(
         &self,
         config: &SimConfig,
@@ -430,8 +440,8 @@ impl TraceCache {
         length: RunLength,
     ) -> Option<ReplaySource> {
         let identity = Self::identity(config, name, seed, length);
-        let bytes = self.store.fetch(&identity)?;
-        match Self::validate_entry(config, name, seed, length, bytes) {
+        let data = self.store.fetch_data(&identity)?;
+        match Self::validate_entry(config, name, seed, length, data) {
             Ok(reader) => Some(ReplaySource::new(reader)),
             Err(()) => {
                 self.store.evict(&identity);
@@ -440,14 +450,46 @@ impl TraceCache {
         }
     }
 
+    /// Open `shards` validated replay sources over one shared view of
+    /// the tuple's entry, or `None` on a miss — the sharded batch driver
+    /// hands each worker its own reader without any worker copying the
+    /// payload (clones of [`dcg_trace::TraceData`] share the backing
+    /// mapping). Validation runs once; the extra readers re-parse only
+    /// the header and subheader chain.
+    pub fn replay_sources(
+        &self,
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+        shards: usize,
+    ) -> Option<Vec<ReplaySource>> {
+        let identity = Self::identity(config, name, seed, length);
+        let data = self.store.fetch_data(&identity)?;
+        let reader = match Self::validate_entry(config, name, seed, length, data.clone()) {
+            Ok(reader) => reader,
+            Err(()) => {
+                self.store.evict(&identity);
+                return None;
+            }
+        };
+        let mut out = Vec::with_capacity(shards.max(1));
+        out.push(ReplaySource::new(reader));
+        for _ in 1..shards.max(1) {
+            let reader = ActivityTraceReader::from_data(data.clone()).ok()?;
+            out.push(ReplaySource::new(reader));
+        }
+        Some(out)
+    }
+
     fn validate_entry(
         config: &SimConfig,
         name: &str,
         seed: u64,
         length: RunLength,
-        bytes: Vec<u8>,
+        data: dcg_trace::TraceData,
     ) -> Result<ActivityTraceReader, ()> {
-        let reader = ActivityTraceReader::new(&bytes[..]).map_err(|_| ())?;
+        let reader = ActivityTraceReader::from_data(data).map_err(|_| ())?;
         let h = reader.header();
         let groups = LatchGroups::new(&config.depth).len() as u32;
         let identity_ok = h.config_digest == config.digest()
@@ -657,6 +699,66 @@ impl TraceCache {
         self.run_passive_cached_stream(config, name, seed, length, make_stream, &mut [], &mut [])
             .map(|run| run.stats)
     }
+
+    /// IPC-only cached run — the cheapest query the store can answer.
+    ///
+    /// On a hit the measured window's `(cycles, committed)` come straight
+    /// from the trace's verified per-block subheaders plus a decode of
+    /// the two boundary blocks ([`ReplaySource::measured_window`]): an
+    /// index walk of a few tens of KB instead of a multi-MB payload
+    /// decode. The subheaders are covered by the trailer checksum that
+    /// every open verifies, so the shortcut loses no integrity coverage
+    /// for the numbers it returns. On a miss this records via a live
+    /// simulation exactly like [`TraceCache::run_stats_cached_stream`].
+    ///
+    /// The returned IPC is bit-identical to
+    /// `run_stats_cached_stream(..)?.ipc()` on every path: both reduce to
+    /// the same two integer totals divided in the same order.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceCache::run_stats_cached_stream`].
+    pub fn run_ipc_cached_stream<S, F>(
+        &self,
+        config: &SimConfig,
+        name: &str,
+        seed: u64,
+        length: RunLength,
+        make_stream: F,
+    ) -> Result<f64, DcgError>
+    where
+        S: InstStream,
+        F: FnOnce() -> S,
+    {
+        if let Some(mut replay) = self.replay_source(config, name, seed, length) {
+            match replay.measured_window(length) {
+                Ok(Some((cycles, committed))) => {
+                    let stats = dcg_sim::SimStats {
+                        cycles,
+                        committed,
+                        ..dcg_sim::SimStats::default()
+                    };
+                    return Ok(stats.ipc());
+                }
+                // The index cannot answer (validation guarantees coverage,
+                // so only an unverified rewrite could land here): fold the
+                // full replay instead.
+                Ok(None) => match crate::runner::run_stats_source(&mut replay, length) {
+                    Ok(stats) => return Ok(stats.ipc()),
+                    Err(e) => {
+                        self.evict_after_replay_failure(config, name, seed, length, &e);
+                        return Err(e);
+                    }
+                },
+                Err(e) => {
+                    self.evict_after_replay_failure(config, name, seed, length, &e);
+                    return Err(e);
+                }
+            }
+        }
+        self.run_passive_cached_stream(config, name, seed, length, make_stream, &mut [], &mut [])
+            .map(|run| run.stats.ipc())
+    }
 }
 
 #[cfg(test)]
@@ -733,6 +835,40 @@ mod tests {
             cold.outcomes[1].audit, warm.outcomes[1].audit,
             "audit must replay bit-identically"
         );
+    }
+
+    #[test]
+    fn ipc_index_path_matches_full_fold_bit_for_bit() {
+        // The subheader-index IPC (miss → live record, hit → index walk)
+        // must equal the full blockwise fold's ipc() exactly — same
+        // integer totals, same division.
+        let cache = scratch("ipc-index");
+        let cfg = SimConfig::baseline_8wide();
+        let profile = Spec2000::by_name("gzip").unwrap();
+        let stream = || SyntheticWorkload::new(profile, 11);
+
+        let cold = cache
+            .run_ipc_cached_stream(&cfg, profile.name, 11, short(), stream)
+            .expect("cold ipc");
+        let folded = cache
+            .run_stats_cached_stream(&cfg, profile.name, 11, short(), stream)
+            .expect("warm fold");
+        let warm = cache
+            .run_ipc_cached_stream(&cfg, profile.name, 11, short(), stream)
+            .expect("warm ipc");
+        assert!(cold > 0.0, "a real run has nonzero IPC");
+        assert_eq!(cold.to_bits(), folded.ipc().to_bits());
+        assert_eq!(cold.to_bits(), warm.to_bits());
+
+        // And the index agrees with the drive loop's own totals.
+        let replay = cache
+            .replay_source(&cfg, profile.name, 11, short())
+            .expect("hit");
+        let (cycles, committed) = replay
+            .measured_window(short())
+            .expect("clean entry")
+            .expect("verified entry answers from its index");
+        assert_eq!((cycles, committed), (folded.cycles, folded.committed));
     }
 
     #[test]

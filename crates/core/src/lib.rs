@@ -61,6 +61,7 @@ mod plb;
 mod policy;
 mod runner;
 mod safety;
+mod shard;
 mod sinks;
 mod source;
 mod store;
@@ -76,11 +77,13 @@ pub use metrics::{
 pub use plb::{Plb, PlbConfig, PlbMode, PlbVariant};
 pub use policy::{GatingPolicy, NoGating};
 pub use runner::{
-    drive, drive_batch, run_active, run_active_source, run_oracle, run_oracle_source, run_passive,
-    run_passive_source, run_passive_with_sinks, run_stats_source, run_wattch_styles,
-    run_wattch_styles_source, GatingAudit, PassiveRun, PolicyOutcome, RunLength, WattchStyles,
+    drive, drive_batch, drive_batch_sharded, run_active, run_active_source, run_oracle,
+    run_oracle_source, run_passive, run_passive_source, run_passive_with_sinks, run_stats_source,
+    run_wattch_styles, run_wattch_styles_source, GatingAudit, PassiveRun, PolicyOutcome, RunLength,
+    WattchStyles,
 };
 pub use safety::{GatingSafetyChecker, Hazard, HazardClass, SafetyConfig, SafetyReport};
+pub use shard::{run_sharded, run_sharded_with, sweep_threads, SWEEP_THREADS_ENV};
 pub use sinks::{ActivitySink, MetricsSink};
 pub use source::{ActivitySource, ReplaySource};
 pub use store::{

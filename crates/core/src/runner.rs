@@ -292,6 +292,86 @@ pub fn drive_batch(
     drive(source, &mut flat, length)
 }
 
+/// [`drive_batch`] sharded across up to `threads` scoped workers: the
+/// lanes are split into contiguous chunks, each worker drives its chunk
+/// over its **own** source (one per chunk, from `sources` — e.g. one
+/// [`crate::ReplaySource`] per worker over a shared trace mapping, see
+/// [`crate::TraceCache::replay_sources`]), so a block is decoded once
+/// per worker instead of once per lane.
+///
+/// Every sink still observes the identical warm-up/measure sequence —
+/// worker boundaries only partition *which* lanes a pass fans out to —
+/// so results are bit-identical to [`drive_batch`] for any worker
+/// count. With one source (or one lane) this *is* `drive_batch`.
+///
+/// `sources` supplies one source per worker; the number of workers is
+/// `min(threads, sources.len(), lanes.len())`, never zero.
+///
+/// # Errors
+///
+/// As [`drive`]; when several workers fail, the error from the earliest
+/// lane chunk wins (deterministic for any schedule).
+pub fn drive_batch_sharded<S: ActivitySource + Send>(
+    threads: usize,
+    sources: Vec<S>,
+    lanes: &mut [Vec<&mut (dyn ActivitySink + Send)>],
+    length: RunLength,
+) -> Result<(), DcgError> {
+    if lanes.is_empty() {
+        return Ok(());
+    }
+    let workers = threads.max(1).min(sources.len()).min(lanes.len()).max(1);
+    if workers <= 1 {
+        let mut source = sources
+            .into_iter()
+            .next()
+            .expect("drive_batch_sharded needs at least one source");
+        let mut flat: Vec<&mut dyn ActivitySink> =
+            Vec::with_capacity(lanes.iter().map(Vec::len).sum());
+        for lane in lanes.iter_mut() {
+            for s in lane.iter_mut() {
+                flat.push(&mut **s);
+            }
+        }
+        return drive(&mut source, &mut flat, length);
+    }
+    // Contiguous chunks, remainder spread over the leading workers so
+    // chunk sizes differ by at most one.
+    let per = lanes.len() / workers;
+    let extra = lanes.len() % workers;
+    let mut chunks: Vec<&mut [Vec<&mut (dyn ActivitySink + Send)>]> = Vec::with_capacity(workers);
+    let mut rest = lanes;
+    for w in 0..workers {
+        let take = per + usize::from(w < extra);
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    let mut results: Vec<Result<(), DcgError>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .zip(sources)
+            .map(|(chunk, mut source)| {
+                scope.spawn(move || {
+                    let mut flat: Vec<&mut dyn ActivitySink> =
+                        Vec::with_capacity(chunk.iter().map(Vec::len).sum());
+                    for lane in chunk.iter_mut() {
+                        for s in lane.iter_mut() {
+                            flat.push(&mut **s);
+                        }
+                    }
+                    drive(&mut source, &mut flat, length)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("drive worker panicked"));
+        }
+    });
+    results.into_iter().collect()
+}
+
 /// Collect only the measured-window [`SimStats`] from `source` — the
 /// cheapest possible consumer (no power model, no policy state).
 ///

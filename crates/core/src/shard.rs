@@ -1,0 +1,121 @@
+//! Sharded sweep scheduling: run N independent jobs across a bounded
+//! scoped-thread pool with work stealing and *deterministic assembly*.
+//!
+//! Every sweep in the workspace — ALU-width points, fault injections,
+//! kernel runs, batched config lanes — is a list of jobs where job `i`
+//! is a pure function of `i` (each worker decodes its own view of the
+//! shared trace mapping; nothing is mutated across jobs). That makes
+//! the determinism argument one line: `results[i] = f(i)` no matter
+//! which worker computed it or in what order, so assembling results by
+//! index yields byte-identical output for any `DCG_SWEEP_THREADS`
+//! (DESIGN.md §15).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the sweep worker count. `1` forces
+/// fully serial in-thread execution (no pool at all); unset or invalid
+/// falls back to [`std::thread::available_parallelism`].
+pub const SWEEP_THREADS_ENV: &str = "DCG_SWEEP_THREADS";
+
+/// The sweep worker count: `DCG_SWEEP_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+#[must_use]
+pub fn sweep_threads() -> usize {
+    match std::env::var(SWEEP_THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Run `jobs` independent jobs — `f(i)` for `i in 0..jobs` — on up to
+/// [`sweep_threads`] scoped workers with atomic-counter work stealing,
+/// returning the results **in index order** regardless of scheduling.
+/// With one worker (or one job) everything runs inline on the caller's
+/// thread, bit-for-bit the serial loop.
+///
+/// # Panics
+///
+/// A panicking job propagates to the caller once the scope joins, like
+/// the serial loop would.
+pub fn run_sharded<R, F>(jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_sharded_with(sweep_threads(), jobs, f)
+}
+
+/// [`run_sharded`] with an explicit worker count (tests pin 1/2/4 to
+/// prove byte identity without touching the environment).
+pub fn run_sharded_with<R, F>(threads: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs);
+    if threads <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every job slot filled by the scope join")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered_for_any_worker_count() {
+        let f = |i: usize| i * i + 1;
+        let serial: Vec<usize> = (0..37).map(f).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            assert_eq!(
+                run_sharded_with(threads, 37, f),
+                serial,
+                "{threads} workers"
+            );
+        }
+        assert_eq!(run_sharded_with(4, 0, f), Vec::<usize>::new());
+        assert_eq!(run_sharded_with(4, 1, f), vec![1]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = std::panic::catch_unwind(|| {
+            run_sharded_with(2, 8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        std::panic::set_hook(hook);
+        assert!(r.is_err(), "a job panic must not be swallowed");
+    }
+}

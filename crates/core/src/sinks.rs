@@ -362,7 +362,10 @@ const COMP_LATCHES: usize = COMP_BUSES + 1;
 /// stream, so a second instance reproduces exactly the gate decisions of
 /// the [`PolicySink`] riding the same pass, live or replayed.
 pub struct MetricsSink<'a> {
-    policy: &'a mut dyn GatingPolicy,
+    /// `+ Send` so a batch of metrics lanes can shard across the
+    /// [`crate::drive_batch_sharded`] worker pool; every concrete policy
+    /// is a plain `Send` struct.
+    policy: &'a mut (dyn GatingPolicy + Send),
     groups: &'a LatchGroups,
     /// Scratch gate state reused across cycles.
     gate: GateState,
@@ -379,7 +382,7 @@ pub struct MetricsSink<'a> {
 impl<'a> MetricsSink<'a> {
     /// A sink observing `policy` with the default [`MetricsConfig`].
     pub fn new(
-        policy: &'a mut dyn GatingPolicy,
+        policy: &'a mut (dyn GatingPolicy + Send),
         config: &SimConfig,
         groups: &'a LatchGroups,
     ) -> MetricsSink<'a> {
@@ -392,7 +395,7 @@ impl<'a> MetricsSink<'a> {
     ///
     /// Panics if `policy` is active or `metrics_config.window` is zero.
     pub fn with_config(
-        policy: &'a mut dyn GatingPolicy,
+        policy: &'a mut (dyn GatingPolicy + Send),
         config: &SimConfig,
         groups: &'a LatchGroups,
         metrics_config: MetricsConfig,

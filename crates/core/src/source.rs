@@ -128,6 +128,30 @@ impl ReplaySource {
     pub fn header(&self) -> &ActivityHeader {
         self.reader.header()
     }
+
+    /// The `(cycles, committed)` totals the drive loop would measure over
+    /// `length`, computed from the trace's verified per-block subheaders
+    /// plus a decode of the (at most two) boundary blocks — see
+    /// [`ActivityTraceReader::measured_window`]. `Ok(None)` means the
+    /// trace cannot answer from its index (unverified or short); fall
+    /// back to a full replay.
+    ///
+    /// # Errors
+    ///
+    /// [`DcgError::ReplayCorrupt`] when the subheader chain or a boundary
+    /// block is corrupt — the same entry a full replay would fault on.
+    pub fn measured_window(
+        &self,
+        length: crate::RunLength,
+    ) -> Result<Option<(u64, u64)>, DcgError> {
+        self.reader
+            .measured_window(length.warmup_insts, length.measure_insts)
+            .map_err(|e| DcgError::ReplayCorrupt {
+                name: self.reader.header().name.clone(),
+                cycle: self.reader.cycles_read() + 1,
+                source: e,
+            })
+    }
 }
 
 impl fmt::Debug for ReplaySource {

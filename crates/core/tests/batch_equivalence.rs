@@ -12,8 +12,8 @@
 //! speedup rests on.
 
 use dcg_core::{
-    drive_batch, run_passive_with_sinks, run_stats_source, ActivitySink, ActivitySource, Dcg,
-    DcgError, MetricsSink, NoGating, PassiveRun, ReplaySource, RunLength,
+    drive_batch, drive_batch_sharded, run_passive_with_sinks, run_stats_source, ActivitySink,
+    ActivitySource, Dcg, DcgError, MetricsSink, NoGating, PassiveRun, ReplaySource, RunLength,
 };
 use dcg_sim::{
     CycleActivity, LatchGroups, PipelineDepth, Processor, ResourceConstraints, SimConfig,
@@ -186,4 +186,56 @@ fn drive_batch_lanes_match_individual_drives() {
         batch0, solo_scalar,
         "batched lane must equal solo scalar run"
     );
+}
+
+#[test]
+fn sharded_batch_matches_serial_batch_for_any_worker_count() {
+    let cfg = SimConfig::baseline_8wide();
+    let groups = LatchGroups::new(&cfg.depth);
+    let bytes = record(&cfg, "gzip");
+    const LANES: usize = 4;
+
+    // Reference: the serial batched driver over the same four lanes.
+    let reference: Vec<dcg_core::MetricsReport> = {
+        let mut policies: Vec<Dcg> = (0..LANES).map(|_| Dcg::new(&cfg, &groups)).collect();
+        let mut sinks: Vec<MetricsSink> = policies
+            .iter_mut()
+            .map(|p| MetricsSink::new(p, &cfg, &groups))
+            .collect();
+        {
+            let mut lanes: Vec<Vec<&mut dyn ActivitySink>> = sinks
+                .iter_mut()
+                .map(|s| vec![s as &mut dyn ActivitySink])
+                .collect();
+            drive_batch(&mut replay(&bytes), &mut lanes, length())
+                .expect("replay covers the recorded window");
+        }
+        sinks.into_iter().map(MetricsSink::into_report).collect()
+    };
+
+    // The sharded driver must reproduce it bit-for-bit whether it runs
+    // serially (1 worker) or splits the lanes across threads, each thread
+    // decoding its own reader over the same bytes.
+    for threads in [1usize, 2, 4, 8] {
+        let mut policies: Vec<Dcg> = (0..LANES).map(|_| Dcg::new(&cfg, &groups)).collect();
+        let mut sinks: Vec<MetricsSink> = policies
+            .iter_mut()
+            .map(|p| MetricsSink::new(p, &cfg, &groups))
+            .collect();
+        {
+            let mut lanes: Vec<Vec<&mut (dyn ActivitySink + Send)>> = sinks
+                .iter_mut()
+                .map(|s| vec![s as &mut (dyn ActivitySink + Send)])
+                .collect();
+            let sources: Vec<ReplaySource> = (0..LANES).map(|_| replay(&bytes)).collect();
+            drive_batch_sharded(threads, sources, &mut lanes, length())
+                .expect("replay covers the recorded window");
+        }
+        let reports: Vec<dcg_core::MetricsReport> =
+            sinks.into_iter().map(MetricsSink::into_report).collect();
+        assert_eq!(
+            reports, reference,
+            "{threads} workers: sharded batch must equal serial batch"
+        );
+    }
 }

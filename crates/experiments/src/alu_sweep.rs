@@ -5,7 +5,7 @@
 //! units and 92.7 % with 4 — concluding 6 units are power/performance
 //! optimal, which Table 1 then uses. This module regenerates that sweep.
 
-use dcg_core::{run_passive, NoGating, RunLength, TraceCache};
+use dcg_core::{run_passive, run_sharded, NoGating, RunLength, TraceCache};
 use dcg_sim::{LatchGroups, SimConfig};
 use dcg_workloads::{Spec2000, SyntheticWorkload};
 
@@ -38,22 +38,23 @@ fn ipc_with_alus(
             &mut [&mut *policy],
         )
     };
-    let stats = match cache {
-        // Only the IPC is needed, so the cached path folds decoded blocks
-        // straight into SimStats — no power model, no policy state.
+    match cache {
+        // Only the IPC is needed, so the cached path answers from the
+        // trace's verified block index — subheader totals plus the two
+        // boundary blocks — without decoding the interior (bit-identical
+        // to the full fold; see `TraceCache::run_ipc_cached_stream`).
         Some(c) => c
-            .run_stats_cached_stream(&cfg, profile.name, seed, length, || {
+            .run_ipc_cached_stream(&cfg, profile.name, seed, length, || {
                 SyntheticWorkload::new(profile, seed)
             })
             .unwrap_or_else(|e| {
                 // Fail open: the entry has been evicted; rebuild the
                 // policy and simulate live.
                 eprintln!("warning: {name}: cached replay failed ({e}); re-simulating live");
-                live(&mut NoGating::new(&cfg, &groups)).stats
+                live(&mut NoGating::new(&cfg, &groups)).stats.ipc()
             }),
-        None => live(&mut policy).stats,
-    };
-    stats.ipc()
+        None => live(&mut policy).stats.ipc(),
+    }
 }
 
 /// Run the §4.4 sweep over the integer benchmarks in `cfg`, using the
@@ -75,16 +76,33 @@ pub fn alu_sweep_with(cfg: &ExperimentConfig, cache: Option<&TraceCache>) -> Fig
         ALU_COUNTS.iter().map(|n| format!("{n}-alus")).collect(),
     );
     let mut worst = vec![f64::INFINITY; ALU_COUNTS.len()];
-    for p in cfg
+    let ints: Vec<_> = cfg
         .benchmarks
         .iter()
         .filter(|p| p.suite == dcg_workloads::SuiteKind::Int)
-    {
-        let ipcs: Vec<f64> = ALU_COUNTS
-            .iter()
-            .map(|n| ipc_with_alus(&cfg.sim, *n, cfg.seed, cfg.length, p.name, cache))
-            .collect();
-        let rel: Vec<f64> = ipcs.iter().map(|i| 100.0 * i / ipcs[0]).collect();
+        .collect();
+    // Every (benchmark, alu-count) point is a pure function of its
+    // index, so the whole grid shards across DCG_SWEEP_THREADS workers
+    // (each decoding its own view of the shared trace mapping) and
+    // assembles in index order — the table is byte-identical to the
+    // serial loop for any worker count.
+    let points: Vec<(usize, usize)> = (0..ints.len())
+        .flat_map(|b| (0..ALU_COUNTS.len()).map(move |a| (b, a)))
+        .collect();
+    let ipcs = run_sharded(points.len(), |i| {
+        let (b, a) = points[i];
+        ipc_with_alus(
+            &cfg.sim,
+            ALU_COUNTS[a],
+            cfg.seed,
+            cfg.length,
+            ints[b].name,
+            cache,
+        )
+    });
+    for (b, p) in ints.iter().enumerate() {
+        let row = &ipcs[b * ALU_COUNTS.len()..(b + 1) * ALU_COUNTS.len()];
+        let rel: Vec<f64> = row.iter().map(|i| 100.0 * i / row[0]).collect();
         for (w, r) in worst.iter_mut().zip(&rel) {
             *w = w.min(*r);
         }

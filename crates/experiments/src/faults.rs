@@ -113,7 +113,11 @@ impl FaultCampaign {
     pub fn run(seed: u64, n: u32) -> FaultCampaign {
         let plan = FaultPlan::generate(seed, n);
         let ctx = Context::new(seed);
-        let outcomes = plan.faults.iter().map(|spec| ctx.inject(*spec)).collect();
+        // Each injection is hermetic (its own scratch cache directory,
+        // keyed by fault id), so the campaign shards across
+        // DCG_SWEEP_THREADS workers; outcomes assemble in plan order,
+        // keeping the campaign JSON byte-identical for any worker count.
+        let outcomes = dcg_core::run_sharded(plan.faults.len(), |i| ctx.inject(plan.faults[i]));
         FaultCampaign { seed, outcomes }
     }
 

@@ -79,9 +79,13 @@ impl KernelRun {
 pub fn run_kernels(sim: &SimConfig, cache: Option<&TraceCache>) -> Vec<KernelRun> {
     let length = kernel_run_length();
     let groups = LatchGroups::new(&sim.depth);
-    Kernel::all()
-        .into_iter()
-        .map(|k| {
+    // Kernels are independent sweep points; shard them across
+    // DCG_SWEEP_THREADS workers and assemble in kernel order so the
+    // savings JSON is byte-identical for any worker count.
+    let kernels = Kernel::all();
+    dcg_core::run_sharded(kernels.len(), |i| {
+        let k = &kernels[i];
+        {
             let passive = |cache: Option<&TraceCache>| -> Result<PassiveRun, dcg_core::DcgError> {
                 let mut baseline = NoGating::new(sim, &groups);
                 let mut dcg = Dcg::new(sim, &groups);
@@ -125,8 +129,8 @@ pub fn run_kernels(sim: &SimConfig, cache: Option<&TraceCache>) -> Vec<KernelRun
                 oracle,
                 stats: run.stats,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Energy as an exact bit pattern: the identity surface stores

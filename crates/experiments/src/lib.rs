@@ -46,7 +46,9 @@ pub use kernels::{
 };
 pub use metrics_json::{metrics_json, suite_metrics_json};
 pub use phases::{phase_analysis, PhaseSeries};
-pub use suite::{BenchmarkRun, ExperimentConfig, Suite, SuiteFailure};
+pub use suite::{
+    suite_workers, BenchmarkRun, ExperimentConfig, Suite, SuiteFailure, SUITE_WORKERS_ENV,
+};
 pub use summary::summary;
 pub use svg::{render_svg, render_utilization_svg, write_svg, write_utilization_svg};
 pub use table::FigureTable;

@@ -186,6 +186,28 @@ pub struct SuiteFailure {
     pub message: String,
 }
 
+/// Environment variable overriding [`Suite::run`]'s worker-pool size
+/// (positive integer; unset or invalid falls back to
+/// [`std::thread::available_parallelism`]). Results are bit-identical
+/// for any value — the knob exists so bench timings are reproducible on
+/// shared machines.
+pub const SUITE_WORKERS_ENV: &str = "DCG_WORKERS";
+
+/// The suite worker-pool size: `DCG_WORKERS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+#[must_use]
+pub fn suite_workers() -> usize {
+    match std::env::var(SUITE_WORKERS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
 /// The full set of per-benchmark runs for one experiment configuration.
 #[derive(Debug)]
 pub struct Suite {
@@ -200,10 +222,13 @@ pub struct Suite {
 impl Suite {
     /// Run the suite. `with_plb` also runs both PLB variants (three
     /// simulations per benchmark instead of one). Benchmarks are
-    /// dispatched to a worker pool sized by
+    /// dispatched to a worker pool sized by the `DCG_WORKERS`
+    /// environment variable when set to a positive integer, otherwise by
     /// [`std::thread::available_parallelism`] (never one thread per
     /// benchmark); results are returned in configuration order and are
-    /// bit-identical to a serial run (every simulation is deterministic).
+    /// bit-identical to a serial run (every simulation is deterministic),
+    /// so pinning `DCG_WORKERS=1` on a shared machine changes timing
+    /// only, never results.
     ///
     /// The passive baseline/DCG portion goes through the activity-trace
     /// cache when one is enabled (see [`TraceCache::from_env`]), so
@@ -212,10 +237,7 @@ impl Suite {
     pub fn run(cfg: &ExperimentConfig, with_plb: bool) -> Suite {
         let ((runs, failures), wall_ns) = dcg_testkit::bench::time(|| {
             let n = cfg.benchmarks.len();
-            let workers = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-                .min(n.max(1));
+            let workers = suite_workers().min(n.max(1));
             let cache = TraceCache::from_env();
             let next = AtomicUsize::new(0);
             let mut slots: Vec<Option<Result<BenchmarkRun, SuiteFailure>>> =

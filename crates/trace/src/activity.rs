@@ -80,6 +80,7 @@ use dcg_isa::FuClass;
 use dcg_sim::{ActivityBlock, CycleActivity, FuGrant, BLOCK_CYCLES};
 
 use crate::error::TraceError;
+use crate::mmap::TraceData;
 use crate::varint;
 
 /// Activity-trace file magic.
@@ -550,14 +551,22 @@ impl<W: Write> ActivityTraceWriter<W> {
 
 /// Streams [`CycleActivity`] records out of an activity trace.
 ///
-/// The constructor slurps the whole source into memory; records then
-/// decode by direct slice indexing. Replay only pays off if decoding is
-/// much cheaper than simulating, and per-byte `Read` calls through a
-/// `BufReader` were the dominant replay cost — an activity trace for a
-/// full run is a few MB, so buffering it whole is the right trade.
+/// The reader decodes by direct slice indexing over a [`TraceData`] —
+/// an `mmap(2)` view of the trace file on the zero-copy path
+/// ([`open`](ActivityTraceReader::open)), or an owned buffer on the
+/// portable fallback and the legacy [`new`](ActivityTraceReader::new)
+/// constructor. Either way nothing is copied after the bytes are in
+/// reach: blocks decode by borrowing straight from the backing buffer,
+/// and the lazy per-block subheader checksums mean each payload byte is
+/// touched exactly once, on block entry.
 #[derive(Debug)]
 pub struct ActivityTraceReader {
-    buf: Vec<u8>,
+    data: TraceData,
+    /// Offset of the first record byte (just past the header).
+    start: usize,
+    /// End of the record section (the verified trailer, if any, sits
+    /// beyond this and is never re-entered by the decode loop).
+    len: usize,
     pos: usize,
     header: ActivityHeader,
     cycles: u64,
@@ -616,7 +625,30 @@ fn decode_column(
     if mask == full {
         // Dense column (flow counters and latch occupancies usually are):
         // every lane carries a value, so decode in order without the
-        // mask walk.
+        // mask walk. When every varint is a single byte (value 1..=127 —
+        // the overwhelmingly common case for per-cycle counters) the
+        // column is a straight byte spread; any other byte falls back to
+        // the per-value loop from the unadvanced position, so error
+        // classification is unchanged.
+        if let Some(win) = buf.get(*pos..*pos + n) {
+            if win.iter().all(|&b| b.wrapping_sub(1) < 0x7f) {
+                // The unit-stride widen is a separate loop so it
+                // auto-vectorizes: `step_by` with a runtime stride
+                // defeats the unroller, and every column except the
+                // latch-occupancy rows is unit-stride.
+                if stride == 1 {
+                    for (o, &b) in out[..n].iter_mut().zip(win) {
+                        *o = u32::from(b);
+                    }
+                } else {
+                    for (o, &b) in out.iter_mut().step_by(stride).zip(win) {
+                        *o = u32::from(b);
+                    }
+                }
+                *pos += n;
+                return Ok(mask);
+            }
+        }
         for i in 0..n {
             let v = decode_u32(buf, pos, what)?;
             if v == 0 {
@@ -631,6 +663,29 @@ fn decode_column(
     } else {
         for i in 0..n {
             out[i * stride] = 0;
+        }
+    }
+    // Same single-byte fast path for the sparse case: `count_ones` lanes
+    // carry one varint each.
+    let lanes = mask.count_ones() as usize;
+    if let Some(win) = buf.get(*pos..*pos + lanes) {
+        if win.iter().all(|&b| b.wrapping_sub(1) < 0x7f) {
+            let mut m = mask;
+            if stride == 1 {
+                for &b in win {
+                    let i = m.trailing_zeros() as usize;
+                    out[i] = u32::from(b);
+                    m &= m - 1;
+                }
+            } else {
+                for &b in win {
+                    let i = m.trailing_zeros() as usize;
+                    out[i * stride] = u32::from(b);
+                    m &= m - 1;
+                }
+            }
+            *pos += lanes;
+            return Ok(mask);
         }
     }
     let mut m = mask;
@@ -885,14 +940,47 @@ fn decode_block_into(
             active_len: 0,
         });
     }
-    for g in block.grants.iter_mut() {
-        g.instance = decode_u32(buf, p, "grant instance overflows u32")? as usize;
+    // The three per-grant field streams take the same all-single-byte
+    // fast path as the columns (values 0..=127 are one varint byte);
+    // mixed streams fall back to the per-value decode.
+    let small = buf
+        .get(*p..*p + total)
+        .is_some_and(|win| win.iter().all(|&b| b < 0x80));
+    if small {
+        for (g, &b) in block.grants.iter_mut().zip(&buf[*p..*p + total]) {
+            g.instance = b as usize;
+        }
+        *p += total;
+    } else {
+        for g in block.grants.iter_mut() {
+            g.instance = decode_u32(buf, p, "grant instance overflows u32")? as usize;
+        }
     }
-    for g in block.grants.iter_mut() {
-        g.exec_start = decode_u32(buf, p, "grant exec_start overflows u32")?;
+    let small = buf
+        .get(*p..*p + total)
+        .is_some_and(|win| win.iter().all(|&b| b < 0x80));
+    if small {
+        for (g, &b) in block.grants.iter_mut().zip(&buf[*p..*p + total]) {
+            g.exec_start = u32::from(b);
+        }
+        *p += total;
+    } else {
+        for g in block.grants.iter_mut() {
+            g.exec_start = decode_u32(buf, p, "grant exec_start overflows u32")?;
+        }
     }
-    for g in block.grants.iter_mut() {
-        g.active_len = decode_u32(buf, p, "grant active_len overflows u32")?;
+    let small = buf
+        .get(*p..*p + total)
+        .is_some_and(|win| win.iter().all(|&b| b < 0x80));
+    if small {
+        for (g, &b) in block.grants.iter_mut().zip(&buf[*p..*p + total]) {
+            g.active_len = u32::from(b);
+        }
+        *p += total;
+    } else {
+        for g in block.grants.iter_mut() {
+            g.active_len = decode_u32(buf, p, "grant active_len overflows u32")?;
+        }
     }
     if pos != end {
         return Err(TraceError::BadActivity("block payload length mismatch"));
@@ -906,42 +994,68 @@ fn decode_block_into(
 }
 
 impl ActivityTraceReader {
-    /// Parse the header, read the block section into memory and position
-    /// at the first record. If the stream ends in a trailer, verify its
-    /// checksum over the block subheaders and strip it; the trailer
-    /// totals are then available from
+    /// Read the whole source into an owned buffer and parse it — the
+    /// portable constructor, kept for in-memory traces and non-file
+    /// sources. File-backed traces should prefer the zero-copy
+    /// [`open`](ActivityTraceReader::open).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_data`](ActivityTraceReader::from_data), plus I/O errors
+    /// from the source.
+    pub fn new<R: Read>(mut source: R) -> Result<ActivityTraceReader, TraceError> {
+        let mut buf = Vec::new();
+        source.read_to_end(&mut buf)?;
+        Self::from_data(TraceData::from(buf))
+    }
+
+    /// Open a trace file zero-copy: `mmap(2)` on unix (falling back to a
+    /// plain read if the kernel refuses), owned read elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_data`](ActivityTraceReader::from_data), plus I/O errors
+    /// opening or reading the file.
+    pub fn open(path: &std::path::Path) -> Result<ActivityTraceReader, TraceError> {
+        Self::from_data(TraceData::open(path)?)
+    }
+
+    /// Parse the header and position at the first record, borrowing all
+    /// record bytes from `data` (no copy). If the stream ends in a
+    /// trailer, verify its checksum over the block subheaders; the
+    /// trailer totals are then available from
     /// [`ActivityTraceReader::verified_totals`] without touching a single
     /// payload byte (payload checksums are verified lazily, on block
     /// entry).
     ///
     /// # Errors
     ///
-    /// Fails on malformed headers, a trailer whose checksum does not
-    /// match the subheader chain (the file was corrupted in place), or
-    /// I/O errors.
-    pub fn new<R: Read>(mut source: R) -> Result<ActivityTraceReader, TraceError> {
-        let header = ActivityHeader::read_from(&mut source)?;
-        let mut buf = Vec::new();
-        source.read_to_end(&mut buf)?;
+    /// Fails on malformed headers or a trailer whose checksum does not
+    /// match the subheader chain (the file was corrupted in place).
+    pub fn from_data(data: TraceData) -> Result<ActivityTraceReader, TraceError> {
+        let mut rest: &[u8] = &data;
+        let header = ActivityHeader::read_from(&mut rest)?;
+        let start = data.len() - rest.len();
+        let mut len = data.len();
         let mut verified = None;
-        if buf.len() >= ACTIVITY_TRAILER_LEN {
-            let base = buf.len() - ACTIVITY_TRAILER_LEN;
+        if len - start >= ACTIVITY_TRAILER_LEN {
+            let base = len - ACTIVITY_TRAILER_LEN;
             let word = |i: usize| {
                 let at = base + 8 + 8 * i;
-                u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+                u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"))
             };
-            if buf[base..base + 8] == ACTIVITY_TRAILER_MAGIC && word(2) == base as u64 {
+            if data[base..base + 8] == ACTIVITY_TRAILER_MAGIC && word(2) == (base - start) as u64 {
                 // Walk the subheader chain; the trailer checksum covers
                 // exactly those subheader bytes.
                 let mut chk = Checksum::new();
-                let mut pos = 0usize;
+                let mut pos = start;
                 let mut intact = true;
                 while pos < base {
                     if pos + ACTIVITY_BLOCK_HEADER_LEN > base {
                         intact = false;
                         break;
                     }
-                    let sub = &buf[pos..pos + ACTIVITY_BLOCK_HEADER_LEN];
+                    let sub = &data[pos..pos + ACTIVITY_BLOCK_HEADER_LEN];
                     let blen = u32::from_le_bytes(sub[0..4].try_into().expect("4 bytes")) as usize;
                     let next = pos + ACTIVITY_BLOCK_HEADER_LEN + blen;
                     if next > base {
@@ -955,18 +1069,20 @@ impl ActivityTraceReader {
                     return Err(TraceError::BadActivity("activity trace checksum mismatch"));
                 }
                 verified = Some((word(0), word(1)));
-                buf.truncate(base);
+                len = base;
             }
         }
         let groups = header.groups as usize;
         Ok(ActivityTraceReader {
-            buf,
-            pos: 0,
+            data,
+            start,
+            len,
+            pos: start,
             header,
             cycles: 0,
             committed: 0,
             verified,
-            block_end: 0,
+            block_end: start,
             block_left: 0,
             block_committed: 0,
             cur: Box::new(ActivityBlock::new(groups)),
@@ -985,10 +1101,11 @@ impl ActivityTraceReader {
     fn enter_block(&mut self) -> Result<bool, TraceError> {
         debug_assert_eq!(self.block_left, 0, "entered block mid-block");
         debug_assert_eq!(self.pos, self.block_end, "decode misaligned");
-        if self.pos == self.buf.len() {
+        let records = &self.data[..self.len];
+        if self.pos == records.len() {
             return Ok(false);
         }
-        let Some(sub) = self.buf.get(self.pos..self.pos + ACTIVITY_BLOCK_HEADER_LEN) else {
+        let Some(sub) = records.get(self.pos..self.pos + ACTIVITY_BLOCK_HEADER_LEN) else {
             return Err(std::io::Error::new(
                 ErrorKind::UnexpectedEof,
                 "activity block subheader truncated",
@@ -1003,7 +1120,7 @@ impl ActivityTraceReader {
             return Err(TraceError::BadActivity("block cycle count out of range"));
         }
         let start = self.pos + ACTIVITY_BLOCK_HEADER_LEN;
-        let Some(payload) = self.buf.get(start..start + blen) else {
+        let Some(payload) = records.get(start..start + blen) else {
             return Err(std::io::Error::new(
                 ErrorKind::UnexpectedEof,
                 "activity block payload truncated",
@@ -1065,7 +1182,7 @@ impl ActivityTraceReader {
             }
             let n = self.block_left as usize;
             decode_block_into(
-                &self.buf,
+                &self.data[..self.len],
                 self.pos,
                 self.block_end,
                 n,
@@ -1111,7 +1228,7 @@ impl ActivityTraceReader {
         }
         let n = self.block_left as usize;
         let committed_sum = decode_block_into(
-            &self.buf,
+            &self.data[..self.len],
             self.pos,
             self.block_end,
             n,
@@ -1138,16 +1255,149 @@ impl ActivityTraceReader {
         Ok((self.cycles, self.committed))
     }
 
+    /// Measure the replay window without decoding the interior: the
+    /// `(cycles, committed)` totals the drive loop would observe for a
+    /// warm-up of `warmup_insts` followed by `measure_insts` committed
+    /// instructions.
+    ///
+    /// Interior blocks contribute their subheader's cycle/commit totals
+    /// directly — those 24-byte subheaders are exactly what the verified
+    /// trailer checksum covers, so the sums are integrity-checked at
+    /// [`from_data`] without touching a payload byte. Only the (at most
+    /// two) blocks containing the warm-up and stop boundaries are
+    /// decoded, payload checksum included, to locate the exact cycle the
+    /// scalar loop would start and stop at. An IPC-style query over a
+    /// multi-MB trace therefore costs a subheader walk plus two block
+    /// decodes.
+    ///
+    /// Returns `None` when the trace is not trailer-verified or its
+    /// committed total does not cover the window — callers fall back to
+    /// a full decode, which reports the precise failure. The reader's
+    /// cursor is untouched; this never interacts with
+    /// [`read_cycle`]/[`read_block`] state.
+    ///
+    /// [`from_data`]: ActivityTraceReader::from_data
+    /// [`read_cycle`]: ActivityTraceReader::read_cycle
+    /// [`read_block`]: ActivityTraceReader::read_block
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed subheader chain or a corrupt boundary block
+    /// — the same classifications a full decode of that block reports.
+    pub fn measured_window(
+        &self,
+        warmup_insts: u64,
+        measure_insts: u64,
+    ) -> Result<Option<(u64, u64)>, TraceError> {
+        let warm = warmup_insts;
+        let target = warm.saturating_add(measure_insts);
+        let Some((_, total)) = self.verified else {
+            return Ok(None);
+        };
+        if total < target {
+            return Ok(None);
+        }
+        let records = &self.data[..self.len];
+        let mut pos = self.start;
+        let mut pre = 0u64; // committed before the current block
+        let mut first_cycle = 1u64;
+        let mut cycles = 0u64;
+        let mut committed = 0u64;
+        let mut scratch: Option<Box<ActivityBlock>> = None;
+        while pre < target {
+            if pos == records.len() {
+                // The verified totals promised coverage; an intact chain
+                // cannot end here. Let the full decode classify it.
+                return Ok(None);
+            }
+            let Some(sub) = records.get(pos..pos + ACTIVITY_BLOCK_HEADER_LEN) else {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "activity block subheader truncated",
+                )
+                .into());
+            };
+            let blen = u32::from_le_bytes(sub[0..4].try_into().expect("4 bytes")) as usize;
+            let bcycles = u32::from_le_bytes(sub[4..8].try_into().expect("4 bytes"));
+            let bcommit = u64::from_le_bytes(sub[8..16].try_into().expect("8 bytes"));
+            let bcheck = u64::from_le_bytes(sub[16..24].try_into().expect("8 bytes"));
+            if bcycles == 0 || bcycles as usize > BLOCK_CYCLES {
+                return Err(TraceError::BadActivity("block cycle count out of range"));
+            }
+            let pstart = pos + ACTIVITY_BLOCK_HEADER_LEN;
+            let pend = pstart + blen;
+            let Some(payload) = records.get(pstart..pend) else {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "activity block payload truncated",
+                )
+                .into());
+            };
+            let post = pre + bcommit;
+            let measuring = pre >= warm;
+            // A block is a boundary block when the warm-up or stop
+            // crossing may land inside it; everything else is summed
+            // wholesale from the subheader.
+            if (!measuring && post >= warm) || post >= target {
+                if record_checksum(payload) != bcheck {
+                    return Err(TraceError::BadActivity("activity block checksum mismatch"));
+                }
+                let groups = self.header.groups as usize;
+                let block = scratch.get_or_insert_with(|| Box::new(ActivityBlock::new(groups)));
+                decode_block_into(
+                    records,
+                    pstart,
+                    pend,
+                    bcycles as usize,
+                    first_cycle,
+                    bcommit,
+                    block,
+                )?;
+                // Exactly the block-granular drive loop's boundary scan.
+                let len = bcycles as usize;
+                let mut cum = pre;
+                let mut m = measuring;
+                let mut begin = if m { 0 } else { len };
+                let mut stop = len;
+                for i in 0..len {
+                    if !m && cum >= warm {
+                        m = true;
+                        begin = i;
+                    }
+                    cum += u64::from(block.committed[i]);
+                    if cum >= target {
+                        stop = i + 1;
+                        break;
+                    }
+                }
+                if begin < stop {
+                    cycles += (stop - begin) as u64;
+                    committed += block.committed[begin..stop]
+                        .iter()
+                        .map(|&c| u64::from(c))
+                        .sum::<u64>();
+                }
+            } else if measuring {
+                cycles += u64::from(bcycles);
+                committed += bcommit;
+            }
+            first_cycle += u64::from(bcycles);
+            pre = post;
+            pos = pend;
+        }
+        Ok(Some((cycles, committed)))
+    }
+
     /// Reset to the first record and clear the running totals, so the
     /// same in-memory trace can be decoded again (the cache [`scan`]s for
     /// integrity, then rewinds and replays without re-reading the file).
     ///
     /// [`scan`]: ActivityTraceReader::scan
     pub fn rewind(&mut self) {
-        self.pos = 0;
+        self.pos = self.start;
         self.cycles = 0;
         self.committed = 0;
-        self.block_end = 0;
+        self.block_end = self.start;
         self.block_left = 0;
         self.block_committed = 0;
         self.cur_idx = 0;

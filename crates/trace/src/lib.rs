@@ -41,6 +41,7 @@
 mod activity;
 mod error;
 mod format;
+mod mmap;
 mod reader;
 mod varint;
 mod writer;
@@ -52,5 +53,6 @@ pub use activity::{
 };
 pub use error::TraceError;
 pub use format::{Header, MAGIC, VERSION};
+pub use mmap::TraceData;
 pub use reader::TraceReader;
 pub use writer::TraceWriter;

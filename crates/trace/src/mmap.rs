@@ -1,0 +1,242 @@
+//! Zero-copy trace input: [`TraceData`] wraps either an owned byte
+//! buffer or a shared read-only `mmap(2)` view of a trace file.
+//!
+//! The mapping path is first-party — raw `extern "C"` declarations of
+//! `mmap`/`munmap`, `cfg(unix)` only, no crates.io dependencies. On
+//! other platforms, or when the kernel refuses the mapping (exotic
+//! filesystems, `ENOMEM`, sealed fds), [`TraceData::open`] silently
+//! falls back to reading the file into an owned buffer, so callers see
+//! one type with one contract either way.
+//!
+//! # Safety contract
+//!
+//! A mapping is only sound while the bytes behind it stay put, so the
+//! wrapper holds these lines (see DESIGN.md §15 for the store-level
+//! argument):
+//!
+//! - The mapping is `PROT_READ` + `MAP_PRIVATE`: nothing in this
+//!   process can write through it, and writes by other processes are
+//!   not required to become visible.
+//! - The mapped length is captured once at open; the slice handed out
+//!   never grows past it. Truncating the file *underneath* a live
+//!   mapping is outside the contract (`SIGBUS` on touch, as for any
+//!   mmap consumer) — the trace store never shrinks or rewrites an
+//!   entry in place, it replaces via rename and unlinks on evict, both
+//!   of which leave existing mappings intact.
+//! - The owner is an `Arc`'d [`MappedFile`] whose `Drop` is the only
+//!   `munmap`; borrowed blocks decoded out of the buffer live inside
+//!   the borrow of the `TraceData`, so the unmap cannot race a reader.
+
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A whole-file read-only private mapping; unmapped on drop.
+    #[derive(Debug)]
+    pub struct MappedFile {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and owned for the lifetime of the
+    // value; the raw pointer is never handed out mutably and `munmap`
+    // runs exactly once, in `Drop`.
+    unsafe impl Send for MappedFile {}
+    unsafe impl Sync for MappedFile {}
+
+    impl MappedFile {
+        /// Map `len` bytes of `file` from offset 0.
+        pub fn map(file: &File, len: usize) -> io::Result<MappedFile> {
+            if len == 0 {
+                // POSIX rejects zero-length mappings; an empty file maps
+                // to an empty, never-dereferenced slice.
+                return Ok(MappedFile {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: a fresh read-only private mapping of an owned fd;
+            // the kernel validates len/fd/offset and reports failure as
+            // MAP_FAILED (-1), which we turn into an error.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(MappedFile { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; the bytes are plain initialized memory.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast_const().cast::<u8>(), self.len) }
+        }
+    }
+
+    impl Drop for MappedFile {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: ptr/len came from a successful mmap and are
+                // unmapped exactly once. Failure is unrecoverable in a
+                // destructor and ignored.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    // Arc<Vec<u8>> rather than Arc<[u8]>: the unsized coercion would
+    // copy the buffer once more, and this wrapper exists to not copy.
+    Owned(Arc<Vec<u8>>),
+    #[cfg(unix)]
+    Mapped(Arc<sys::MappedFile>),
+}
+
+/// Bytes backing a trace: an owned buffer, or a shared read-only memory
+/// mapping of the trace file. Dereferences to `[u8]`; `Clone` is cheap
+/// and shares the backing storage, so several readers (one per sweep
+/// worker) can decode their own view of one mapping without copying.
+#[derive(Debug, Clone)]
+pub struct TraceData(Repr);
+
+impl TraceData {
+    /// Open `path` zero-copy when the platform allows it: `mmap(2)` on
+    /// unix, falling back to an ordinary read into an owned buffer on
+    /// other platforms or if the kernel refuses the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the file cannot be *read* — a refused mapping is
+    /// not an error, it downgrades to the owned path.
+    pub fn open(path: &Path) -> io::Result<TraceData> {
+        #[cfg(unix)]
+        {
+            if let Ok(data) = Self::map_path(path) {
+                return Ok(data);
+            }
+        }
+        Ok(TraceData::from(std::fs::read(path)?))
+    }
+
+    #[cfg(unix)]
+    fn map_path(path: &Path) -> io::Result<TraceData> {
+        let file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        let map = sys::MappedFile::map(&file, len)?;
+        Ok(TraceData(Repr::Mapped(Arc::new(map))))
+    }
+
+    /// Whether the bytes are a live memory mapping (false on the owned
+    /// fallback path) — observability for benches and tests.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.0 {
+            Repr::Owned(_) => false,
+            #[cfg(unix)]
+            Repr::Mapped(_) => true,
+        }
+    }
+}
+
+impl From<Vec<u8>> for TraceData {
+    fn from(bytes: Vec<u8>) -> TraceData {
+        TraceData(Repr::Owned(Arc::new(bytes)))
+    }
+}
+
+impl Deref for TraceData {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Owned(b) => b,
+            #[cfg(unix)]
+            Repr::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_and_mapped_views_agree() {
+        let dir = std::env::temp_dir().join(format!("dcg-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sample.bin");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).expect("write");
+
+        let opened = TraceData::open(&path).expect("open");
+        assert_eq!(&*opened, &payload[..]);
+        let shared = opened.clone();
+        assert_eq!(&*shared, &payload[..]);
+        #[cfg(unix)]
+        assert!(opened.is_mapped(), "unix open should take the mmap path");
+
+        let owned = TraceData::from(payload.clone());
+        assert!(!owned.is_mapped());
+        assert_eq!(&*owned, &payload[..]);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let dir = std::env::temp_dir().join(format!("dcg-mmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, []).expect("write");
+        let opened = TraceData::open(&path).expect("open");
+        assert!(opened.is_empty());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(TraceData::open(Path::new("/nonexistent/dcg-trace")).is_err());
+    }
+}
