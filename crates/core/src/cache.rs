@@ -65,8 +65,11 @@ static STORE_FAILURES: AtomicU64 = AtomicU64::new(0);
 static EVICT_FAILURES: AtomicU64 = AtomicU64::new(0);
 static REPLAY_FAILURES: AtomicU64 = AtomicU64::new(0);
 static KEY_COLLISIONS: AtomicU64 = AtomicU64::new(0);
+static READONLY_SKIPS: AtomicU64 = AtomicU64::new(0);
 /// Gate for the once-per-process store-failure warning.
 static STORE_WARNING: Once = Once::new();
+/// Gate for the once-per-process read-only degradation note.
+static READONLY_NOTE: Once = Once::new();
 /// Gate for the once-per-process evict-failure warning.
 static EVICT_WARNING: Once = Once::new();
 /// Gate for the once-per-process replay-failure warning.
@@ -102,6 +105,10 @@ pub struct CacheHealth {
     /// Distinct tuples that collided on the 64-bit filename key and were
     /// stored under disambiguated names (both stay warm).
     pub key_collisions: u64,
+    /// Stores/evictions skipped because the store directory is not
+    /// writable (read-only degradation: lookups still served — e.g. a
+    /// CI artifact replayed from a read-only mount).
+    pub readonly_skips: u64,
 }
 
 impl CacheHealth {
@@ -113,6 +120,7 @@ impl CacheHealth {
             evict_failures: EVICT_FAILURES.load(Ordering::Relaxed),
             replay_failures: REPLAY_FAILURES.load(Ordering::Relaxed),
             key_collisions: KEY_COLLISIONS.load(Ordering::Relaxed),
+            readonly_skips: READONLY_SKIPS.load(Ordering::Relaxed),
         }
     }
 }
@@ -156,6 +164,23 @@ pub(crate) fn note_evict_failure(path: &Path, err: &std::io::Error) {
 
 pub(crate) fn note_key_collision() {
     KEY_COLLISIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Called once per store open that auto-detects an unwritable directory
+/// and degrades to read-only mode.
+pub(crate) fn note_readonly(path: &Path) {
+    READONLY_NOTE.call_once(|| {
+        eprintln!(
+            "note: trace store {} is not writable; degrading to a \
+             read-only store (lookups served; stores and evictions are \
+             counted skips)",
+            path.display()
+        );
+    });
+}
+
+pub(crate) fn note_readonly_skip() {
+    READONLY_SKIPS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Called by the store after every open-time recovery sweep. Recovery
@@ -323,6 +348,7 @@ impl TraceCache {
             evict_failures: h.evict_failures.load(Ordering::Relaxed),
             replay_failures: h.replay_failures.load(Ordering::Relaxed),
             key_collisions: h.key_collisions.load(Ordering::Relaxed),
+            readonly_skips: h.readonly_skips.load(Ordering::Relaxed),
         }
     }
 

@@ -83,7 +83,9 @@ pub use runner::{
     WattchStyles,
 };
 pub use safety::{GatingSafetyChecker, Hazard, HazardClass, SafetyConfig, SafetyReport};
-pub use shard::{run_sharded, run_sharded_with, sweep_threads, SWEEP_THREADS_ENV};
+pub use shard::{
+    run_sharded, run_sharded_with, sweep_threads, worker_count_from_env_value, SWEEP_THREADS_ENV,
+};
 pub use sinks::{ActivitySink, MetricsSink};
 pub use source::{ActivitySource, ReplaySource};
 pub use store::{

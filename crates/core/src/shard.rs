@@ -10,27 +10,72 @@
 //! index yields byte-identical output for any `DCG_SWEEP_THREADS`
 //! (DESIGN.md §15).
 
+use std::env::VarError;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// Environment variable overriding the sweep worker count. `1` forces
-/// fully serial in-thread execution (no pool at all); unset or invalid
-/// falls back to [`std::thread::available_parallelism`].
+/// fully serial in-thread execution (no pool at all); unset, zero or
+/// invalid falls back to [`std::thread::available_parallelism`] (zero
+/// and garbage additionally warn once, naming the variable).
 pub const SWEEP_THREADS_ENV: &str = "DCG_SWEEP_THREADS";
 
+/// The machine's available parallelism, clamped to at least one.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve a worker-count environment variable from its raw value:
+/// a positive integer is taken as-is; unset falls back silently to
+/// [`std::thread::available_parallelism`]; anything else (zero, garbage,
+/// non-unicode) falls back the same way but also returns a diagnostic
+/// naming the variable, so misconfiguration degrades loudly instead of
+/// silently serialising the run.
+///
+/// Factored over the raw `std::env::var` result (like
+/// `TraceCache::from_env_value`) so both outcomes are unit-testable
+/// without touching process environment.
+#[must_use]
+pub fn worker_count_from_env_value(
+    var: &str,
+    value: Result<String, VarError>,
+) -> (usize, Option<String>) {
+    match value {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            _ => (
+                default_parallelism(),
+                Some(format!(
+                    "warning: {var}={v:?} is not a positive integer; \
+                     falling back to available parallelism"
+                )),
+            ),
+        },
+        Err(VarError::NotPresent) => (default_parallelism(), None),
+        Err(VarError::NotUnicode(_)) => (
+            default_parallelism(),
+            Some(format!(
+                "warning: {var} is not valid unicode; \
+                 falling back to available parallelism"
+            )),
+        ),
+    }
+}
+
 /// The sweep worker count: `DCG_SWEEP_THREADS` when set to a positive
-/// integer, otherwise the machine's available parallelism.
+/// integer, otherwise the machine's available parallelism (with one
+/// process-wide warning when the variable is set but unusable).
 #[must_use]
 pub fn sweep_threads() -> usize {
-    match std::env::var(SWEEP_THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => 1,
-        },
-        Err(_) => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+    static WARN: Once = Once::new();
+    let (n, warning) =
+        worker_count_from_env_value(SWEEP_THREADS_ENV, std::env::var(SWEEP_THREADS_ENV));
+    if let Some(msg) = warning {
+        WARN.call_once(|| eprintln!("{msg}"));
     }
+    n
 }
 
 /// Run `jobs` independent jobs — `f(i)` for `i in 0..jobs` — on up to
@@ -103,6 +148,36 @@ mod tests {
         }
         assert_eq!(run_sharded_with(4, 0, f), Vec::<usize>::new());
         assert_eq!(run_sharded_with(4, 1, f), vec![1]);
+    }
+
+    #[test]
+    fn sweep_threads_env_values_resolve_with_named_diagnostics() {
+        let ap = default_parallelism();
+        // Positive integers are taken as-is, silently.
+        assert_eq!(
+            worker_count_from_env_value(SWEEP_THREADS_ENV, Ok("3".into())),
+            (3, None)
+        );
+        assert_eq!(
+            worker_count_from_env_value(SWEEP_THREADS_ENV, Ok(" 1 ".into())),
+            (1, None)
+        );
+        // Unset falls back silently.
+        assert_eq!(
+            worker_count_from_env_value(SWEEP_THREADS_ENV, Err(VarError::NotPresent)),
+            (ap, None)
+        );
+        // Zero and garbage fall back to available parallelism (never a
+        // silent serial run) and the diagnostic names the variable.
+        for bad in ["0", "banana", "-2", ""] {
+            let (n, warning) = worker_count_from_env_value(SWEEP_THREADS_ENV, Ok(bad.into()));
+            assert_eq!(n, ap, "{bad:?} must fall back to available parallelism");
+            let msg = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(
+                msg.contains(SWEEP_THREADS_ENV) && msg.contains(bad),
+                "diagnostic must name the variable and value: {msg}"
+            );
+        }
     }
 
     #[test]

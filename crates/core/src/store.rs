@@ -225,6 +225,9 @@ pub struct HealthCounters {
     /// Distinct identities that collided on the 64-bit filename key and
     /// were stored under a disambiguated name.
     pub key_collisions: AtomicU64,
+    /// Stores/evictions skipped because the store directory is not
+    /// writable (read-only degradation: lookups still served).
+    pub readonly_skips: AtomicU64,
     /// Untracked valid entries adopted by recovery sweeps.
     pub adopted_entries: AtomicU64,
     /// Stale temp files reaped by recovery sweeps.
@@ -462,6 +465,12 @@ struct State {
     /// Anything (including generation bumps) changed since the last
     /// checkpoint — drives the best-effort checkpoint on drop.
     dirty: bool,
+    /// The directory is not writable (detected at open, or forced):
+    /// lookups are served from the manifest/journal/directory as found,
+    /// every mutation degrades to a counted no-op
+    /// ([`HealthCounters::readonly_skips`]), and nothing on disk is
+    /// touched — the shape a CI artifact replay needs.
+    readonly: bool,
     /// What the open-time sweep did (kept for tests/campaigns).
     recovery: RecoveryStats,
 }
@@ -481,6 +490,9 @@ pub struct TraceStore {
     dir: PathBuf,
     /// Byte budget; `None` = unbounded.
     budget: Option<u64>,
+    /// Open in read-only mode unconditionally (otherwise a write probe
+    /// at open time decides).
+    force_readonly: bool,
     /// Per-instance health counters.
     pub health: HealthCounters,
     state: Mutex<Option<State>>,
@@ -492,8 +504,54 @@ impl TraceStore {
         TraceStore {
             dir,
             budget,
+            force_readonly: false,
             health: HealthCounters::default(),
             state: Mutex::new(None),
+        }
+    }
+
+    /// A store that never writes to `dir`: lookups are served, every
+    /// store/eviction degrades to a counted no-op
+    /// ([`HealthCounters::readonly_skips`]). The same degradation is
+    /// auto-detected when a normal open finds an unwritable directory
+    /// (e.g. a CI artifact replayed from a read-only mount); this
+    /// constructor forces it for callers that *know* the directory must
+    /// not change.
+    pub fn new_read_only(dir: PathBuf) -> TraceStore {
+        TraceStore {
+            dir,
+            budget: None,
+            force_readonly: true,
+            health: HealthCounters::default(),
+            state: Mutex::new(None),
+        }
+    }
+
+    /// `true` when the store degraded to read-only mode (forces the
+    /// lazy open).
+    pub fn is_read_only(&self) -> bool {
+        let mut guard = self.opened();
+        guard.as_mut().expect("opened").readonly
+    }
+
+    /// `true` when writing into `dir` works: probed by creating (and
+    /// removing) a uniquely-named temp file. Any creation failure on an
+    /// *existing* directory — permissions, `EROFS`, quota — means
+    /// mutations cannot land, which is exactly what read-only mode
+    /// degrades around.
+    fn probe_writable(dir: &Path) -> bool {
+        let probe = dir.join(format!(
+            ".probe.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        match OpenOptions::new().write(true).create_new(true).open(&probe) {
+            Ok(f) => {
+                drop(f);
+                let _ = fs::remove_file(&probe);
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -535,10 +593,17 @@ impl TraceStore {
             journal: None,
             ops_since_checkpoint: 0,
             dirty: false,
+            readonly: self.force_readonly,
             recovery: RecoveryStats::default(),
         };
         if !self.dir.is_dir() {
+            // A missing directory is created by the first insert, so it
+            // only counts as read-only when explicitly forced.
             return st;
+        }
+        if !st.readonly && !Self::probe_writable(&self.dir) {
+            st.readonly = true;
+            crate::cache::note_readonly(&self.dir);
         }
 
         // 1. Manifest: the checkpointed index. A torn or corrupt
@@ -571,9 +636,12 @@ impl TraceStore {
                         // was no crash): trust the journal row.
                         st.generation = st.generation.max(meta.generation);
                         st.index.insert(meta.identity.clone(), meta);
-                    } else if file_matches(&tmp_path, meta.bytes, meta.checksum) {
+                    } else if !st.readonly && file_matches(&tmp_path, meta.bytes, meta.checksum) {
                         // Died between journal append and rename: roll
-                        // the store forward.
+                        // the store forward. (Read-only mode cannot
+                        // rename; the intent is simply not indexed —
+                        // the writable owner of the directory rolls it
+                        // forward on its next open.)
                         if fs::rename(&tmp_path, &final_path).is_ok() {
                             st.recovery.rolled_forward += 1;
                             st.generation = st.generation.max(meta.generation);
@@ -584,12 +652,15 @@ impl TraceStore {
                         }
                     } else {
                         // Neither side of the rename holds the promised
-                        // payload: discard the intent entirely.
-                        if tmp_path.exists() {
-                            let _ = fs::remove_file(&tmp_path);
-                        }
-                        if final_path.exists() {
-                            let _ = fs::remove_file(&final_path);
+                        // payload: discard the intent entirely (from
+                        // the index only, when read-only).
+                        if !st.readonly {
+                            if tmp_path.exists() {
+                                let _ = fs::remove_file(&tmp_path);
+                            }
+                            if final_path.exists() {
+                                let _ = fs::remove_file(&final_path);
+                            }
                         }
                         st.index.remove(&meta.identity);
                         st.recovery.dropped_corrupt += 1;
@@ -598,7 +669,7 @@ impl TraceStore {
                 JournalOp::Evict { file } => {
                     st.index.retain(|_, m| m.file != file);
                     let p = self.dir.join(&file);
-                    if p.exists() {
+                    if !st.readonly && p.exists() {
                         let _ = fs::remove_file(&p);
                     }
                 }
@@ -617,7 +688,7 @@ impl TraceStore {
                     continue;
                 }
                 if name.ends_with(".tmp") {
-                    if !handled_tmp.contains(&name) {
+                    if !st.readonly && !handled_tmp.contains(&name) {
                         let _ = fs::remove_file(entry.path());
                         st.recovery.reaped_tmp += 1;
                     }
@@ -645,8 +716,10 @@ impl TraceStore {
                         );
                     }
                     None => {
-                        let _ = fs::remove_file(entry.path());
-                        st.recovery.dropped_corrupt += 1;
+                        if !st.readonly {
+                            let _ = fs::remove_file(entry.path());
+                            st.recovery.dropped_corrupt += 1;
+                        }
                     }
                 }
             }
@@ -664,9 +737,14 @@ impl TraceStore {
 
         // 4. Compaction duties that are always safe at open: drop
         //    entries from a schema this binary no longer speaks, and
-        //    enforce the byte budget oldest-first.
-        st.recovery.dropped_stale_schema += self.drop_stale_schema(&mut st);
-        st.recovery.evicted_over_budget += self.evict_to_budget(&mut st);
+        //    enforce the byte budget oldest-first. Read-only mode owns
+        //    no disk space, so it compacts nothing (stale-schema rows
+        //    are harmless there — current-schema lookups never match
+        //    them).
+        if !st.readonly {
+            st.recovery.dropped_stale_schema += self.drop_stale_schema(&mut st);
+            st.recovery.evicted_over_budget += self.evict_to_budget(&mut st);
+        }
 
         self.health
             .adopted_entries
@@ -710,6 +788,9 @@ impl TraceStore {
     /// Evict oldest-generation entries until the byte budget holds.
     /// Returns how many were evicted.
     fn evict_to_budget(&self, st: &mut State) -> u64 {
+        if st.readonly {
+            return 0;
+        }
         let Some(budget) = self.budget else { return 0 };
         let mut evicted = 0;
         while st.total_bytes() > budget && !st.index.is_empty() {
@@ -732,6 +813,13 @@ impl TraceStore {
     /// journal. Soft-fails into the store-failure counter via the
     /// caller; returns the error for callers that care.
     fn checkpoint_locked(&self, st: &mut State) -> Result<(), StoreError> {
+        if st.readonly {
+            // Nothing this instance did can be persisted; clearing the
+            // flags keeps drop-time checkpoints quiet.
+            st.dirty = false;
+            st.ops_since_checkpoint = 0;
+            return Ok(());
+        }
         if !self.dir.is_dir() {
             // Nothing was ever stored; there is nothing to persist and
             // creating the directory as a side effect of *reading*
@@ -841,6 +929,14 @@ impl TraceStore {
     pub fn insert(&self, identity: &EntryIdentity, key: u64, bytes: &[u8]) {
         let mut guard = self.opened();
         let st = guard.as_mut().expect("opened");
+        if st.readonly {
+            // Read-only degradation: the run keeps its results, the
+            // store keeps its bytes, and the skip is counted instead of
+            // failing the run.
+            self.health.readonly_skips.fetch_add(1, Ordering::Relaxed);
+            crate::cache::note_readonly_skip();
+            return;
+        }
         if let Err(what) = self.insert_locked(st, identity, key, bytes) {
             self.health.store_failures.fetch_add(1, Ordering::Relaxed);
             crate::cache::note_store_failure(&self.dir, what);
@@ -956,6 +1052,13 @@ impl TraceStore {
         let Some(meta) = st.index.remove(identity) else {
             return;
         };
+        if st.readonly {
+            // Drop the row from the in-memory index (so a failed entry
+            // is not retried forever) but leave the disk alone.
+            self.health.readonly_skips.fetch_add(1, Ordering::Relaxed);
+            crate::cache::note_readonly_skip();
+            return;
+        }
         if let Err(e) = self.journal_append(
             st,
             &JournalOp::Evict {
@@ -1139,6 +1242,9 @@ impl TraceStore {
     pub fn compact_now(&self) -> RecoveryStats {
         let mut guard = self.opened();
         let st = guard.as_mut().expect("opened");
+        if st.readonly {
+            return RecoveryStats::default();
+        }
         let mut stats = RecoveryStats {
             dropped_stale_schema: self.drop_stale_schema(st),
             ..RecoveryStats::default()
@@ -1554,6 +1660,103 @@ mod tests {
         assert_eq!(stats.reaped_tmp, 0, "the journaled tmp is not an orphan");
         assert_eq!(store.fetch(&meta.identity).expect("rolled forward"), body);
         assert!(!dir.join(&tmp).exists());
+    }
+
+    /// Byte-for-byte snapshot of every file in a directory — proves
+    /// read-only mode touched nothing.
+    fn dir_snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|e| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        files
+    }
+
+    #[test]
+    fn read_only_store_serves_lookups_and_counts_skips() {
+        let dir = scratch("readonly");
+        // Seed the directory with a writable store, fold everything
+        // into the manifest, and leave an orphan tmp file the read-only
+        // open must *not* reap.
+        let writer = TraceStore::new(dir.clone(), None);
+        let (a, b) = (ident("a", 1), ident("b", 2));
+        writer.insert(&a, 0xA, &payload(1, 300));
+        writer.insert(&b, 0xB, &payload(2, 300));
+        drop(writer);
+        fs::write(dir.join("orphan.tmp"), b"dead writer").unwrap();
+        let before = dir_snapshot(&dir);
+
+        let store = TraceStore::new_read_only(dir.clone());
+        assert!(store.is_read_only());
+        assert_eq!(store.ensure_open().reaped_tmp, 0, "no reaping");
+        assert_eq!(store.fetch(&a).expect("lookup served"), payload(1, 300));
+        assert_eq!(store.fetch(&b).expect("lookup served"), payload(2, 300));
+
+        // Stores and evictions degrade to counted skips, not failures.
+        store.insert(&ident("c", 3), 0xC, &payload(3, 300));
+        store.evict(&b);
+        assert_eq!(store.health.readonly_skips.load(Ordering::Relaxed), 2);
+        assert_eq!(store.health.store_failures.load(Ordering::Relaxed), 0);
+        assert_eq!(store.health.evict_failures.load(Ordering::Relaxed), 0);
+        assert!(store.fetch(&ident("c", 3)).is_none(), "nothing was stored");
+        assert!(
+            store.fetch(&b).is_none(),
+            "the evicted row leaves the in-memory index"
+        );
+        store.checkpoint().expect("checkpoint no-ops cleanly");
+        assert_eq!(store.compact_now(), RecoveryStats::default());
+        drop(store);
+
+        assert_eq!(dir_snapshot(&dir), before, "no byte on disk changed");
+
+        // The file b's eviction skipped is still served by a fresh open.
+        let again = TraceStore::new_read_only(dir);
+        assert_eq!(again.fetch(&b).expect("disk row intact"), payload(2, 300));
+    }
+
+    #[test]
+    fn unwritable_directory_auto_degrades_to_read_only() {
+        let dir = scratch("readonly-auto");
+        let writer = TraceStore::new(dir.clone(), None);
+        let id = ident("a", 1);
+        writer.insert(&id, 0xA, &payload(1, 200));
+        drop(writer);
+
+        let mut perms = fs::metadata(&dir).unwrap().permissions();
+        perms.set_readonly(true);
+        fs::set_permissions(&dir, perms.clone()).unwrap();
+        // Root ignores permission bits; only assert degradation when
+        // the bit actually bites.
+        let bit_bites = File::create(dir.join("probe-as-caller")).is_err();
+
+        let store = TraceStore::new(dir.clone(), None);
+        if bit_bites {
+            assert!(store.is_read_only(), "unwritable directory must degrade");
+            store.insert(&ident("b", 2), 0xB, &payload(2, 200));
+            assert_eq!(store.health.readonly_skips.load(Ordering::Relaxed), 1);
+            assert_eq!(store.health.store_failures.load(Ordering::Relaxed), 0);
+        } else {
+            assert!(!store.is_read_only(), "writable directory stays writable");
+            let _ = fs::remove_file(dir.join("probe-as-caller"));
+        }
+        assert_eq!(store.fetch(&id).expect("lookups served"), payload(1, 200));
+        drop(store);
+
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            perms.set_mode(0o755);
+        }
+        #[cfg(not(unix))]
+        perms.set_readonly(false);
+        fs::set_permissions(&dir, perms).unwrap();
     }
 
     #[test]

@@ -191,6 +191,28 @@ fn assert_consistent(case: &Path, what: &str) {
     );
 }
 
+/// Exhaustive `kill -9` state space for the journal: truncate it at
+/// **every** byte boundary (not a sample) and demand the full
+/// consistency contract at each cut — the torn tail is discarded, the
+/// checkpointed entry survives, the journal-tail entry either survives
+/// or re-simulates bit-identically, and recovery is idempotent.
+#[test]
+fn journal_truncated_at_every_byte_boundary_recovers() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("store-recovery-properties")
+        .join("every-boundary");
+    let t = template();
+    let len = fs::metadata(t.dir.join(JOURNAL_FILE)).unwrap().len() as usize;
+    for cut in 0..=len {
+        let case = root.join(format!("cut-{cut}"));
+        copy_template(&case);
+        let bytes = fs::read(case.join(JOURNAL_FILE)).unwrap();
+        fs::write(case.join(JOURNAL_FILE), &bytes[..cut]).unwrap();
+        assert_consistent(&case, &format!("journal truncated at {cut}/{len}"));
+        let _ = fs::remove_dir_all(&case);
+    }
+}
+
 #[test]
 fn open_reaches_a_consistent_state_after_seeded_metadata_damage() {
     let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("store-recovery-properties");

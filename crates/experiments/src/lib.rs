@@ -47,7 +47,8 @@ pub use kernels::{
 pub use metrics_json::{metrics_json, suite_metrics_json};
 pub use phases::{phase_analysis, PhaseSeries};
 pub use suite::{
-    suite_workers, BenchmarkRun, ExperimentConfig, Suite, SuiteFailure, SUITE_WORKERS_ENV,
+    suite_workers, suite_workers_from_env_value, BenchmarkRun, ExperimentConfig, Suite,
+    SuiteFailure, SUITE_WORKERS_ENV,
 };
 pub use summary::summary;
 pub use svg::{render_svg, render_utilization_svg, write_svg, write_utilization_svg};

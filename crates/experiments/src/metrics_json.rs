@@ -219,6 +219,7 @@ pub fn suite_metrics_json(suite: &Suite) -> Json {
                 ("evict_failures", Json::u64(health.evict_failures)),
                 ("replay_failures", Json::u64(health.replay_failures)),
                 ("key_collisions", Json::u64(health.key_collisions)),
+                ("readonly_skips", Json::u64(health.readonly_skips)),
             ]),
         ),
     ])

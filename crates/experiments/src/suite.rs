@@ -187,25 +187,34 @@ pub struct SuiteFailure {
 }
 
 /// Environment variable overriding [`Suite::run`]'s worker-pool size
-/// (positive integer; unset or invalid falls back to
-/// [`std::thread::available_parallelism`]). Results are bit-identical
-/// for any value — the knob exists so bench timings are reproducible on
-/// shared machines.
+/// (positive integer; unset, zero or invalid falls back to
+/// [`std::thread::available_parallelism`], the latter two with one named
+/// warning). Results are bit-identical for any value — the knob exists
+/// so bench timings are reproducible on shared machines.
 pub const SUITE_WORKERS_ENV: &str = "DCG_WORKERS";
 
+/// Resolve a raw `DCG_WORKERS` value to a pool size plus an optional
+/// diagnostic — [`dcg_core::worker_count_from_env_value`] bound to this
+/// crate's variable so the fallback is unit-testable here without
+/// touching process environment.
+#[must_use]
+pub fn suite_workers_from_env_value(
+    value: Result<String, std::env::VarError>,
+) -> (usize, Option<String>) {
+    dcg_core::worker_count_from_env_value(SUITE_WORKERS_ENV, value)
+}
+
 /// The suite worker-pool size: `DCG_WORKERS` when set to a positive
-/// integer, otherwise the machine's available parallelism.
+/// integer, otherwise the machine's available parallelism (with one
+/// process-wide warning when the variable is set but unusable).
 #[must_use]
 pub fn suite_workers() -> usize {
-    match std::env::var(SUITE_WORKERS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => 1,
-        },
-        Err(_) => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+    static WARN: std::sync::Once = std::sync::Once::new();
+    let (n, warning) = suite_workers_from_env_value(std::env::var(SUITE_WORKERS_ENV));
+    if let Some(msg) = warning {
+        WARN.call_once(|| eprintln!("{msg}"));
     }
+    n
 }
 
 /// The full set of per-benchmark runs for one experiment configuration.
@@ -513,6 +522,27 @@ mod tests {
         assert!(suite
             .mean_of(SuiteKind::Int, |r| r.dcg_total_saving())
             .is_some());
+    }
+
+    #[test]
+    fn suite_workers_env_values_resolve_with_named_diagnostics() {
+        let ap = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(suite_workers_from_env_value(Ok("4".into())), (4, None));
+        assert_eq!(
+            suite_workers_from_env_value(Err(std::env::VarError::NotPresent)),
+            (ap, None)
+        );
+        for bad in ["0", "all-of-them"] {
+            let (n, warning) = suite_workers_from_env_value(Ok(bad.into()));
+            assert_eq!(n, ap, "{bad:?} must fall back to available parallelism");
+            let msg = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(
+                msg.contains(SUITE_WORKERS_ENV) && msg.contains(bad),
+                "diagnostic must name the variable and value: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //!   faults   (seeded fault-injection campaign; replay with DCG_FAULT_SEED)
 //!   kernels  (real-program kernel suite: differential check + savings JSON)
 //!   config   (print the Table-1 machine configuration)
+//!
+//! server mode (see DESIGN.md §16):
+//!   repro serve  [--state DIR] [--socket PATH] [--drain]
+//!   repro submit [--socket PATH] [--quick] [--no-wait] <job>...
+//!     jobs: simulate:<bench>[:seed]  replay:<bench>[:seed]
+//!           metrics[:seed]           faults[:count[:seed]]
 //! ```
 //!
 //! `--quick` runs a reduced benchmark set with short windows (smoke test);
@@ -19,6 +25,9 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
+
+use dcg_server::{DcgClient, ExperimentServer, JobSpec, ServerConfig};
 
 use dcg_experiments::{
     alu_sweep, fault_campaign_json, fault_seed_from_env, fig10, fig11, fig12, fig13, fig14, fig15,
@@ -27,13 +36,22 @@ use dcg_experiments::{
     FAULT_SEED_ENV,
 };
 
-const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|metrics|faults|kernels|workload-stats|phase-analysis|summary|config|all>...";
+const USAGE: &str = "usage: repro [--quick] [--seeds N] [--chart] [--svg] [--json] [--out DIR] <fig10|...|fig17|alu-sweep|utilization|metrics|faults|kernels|workload-stats|phase-analysis|summary|config|all>...\n       repro serve [--state DIR] [--socket PATH] [--drain]\n       repro submit [--socket PATH] [--quick] [--no-wait] <job>...";
 
 /// Faults injected by `repro faults` (one full round over every
 /// injection point per 9, so 32 covers each point at least three times).
 const CAMPAIGN_FAULTS: u32 = 32;
 
 fn main() -> ExitCode {
+    // Server-mode subcommands take over the whole argument list.
+    {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.first().map(String::as_str) {
+            Some("serve") => return cmd_serve(&args[1..]),
+            Some("submit") => return cmd_submit(&args[1..]),
+            _ => {}
+        }
+    }
     let mut quick = false;
     let mut chart = false;
     let mut svg = false;
@@ -336,6 +354,184 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `repro serve`: run the experiment daemon (thin wrapper over the
+/// `dcg-server` binary's core, sharing its state layout and env knobs).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut state = PathBuf::from("results/server");
+    let mut socket: Option<PathBuf> = None;
+    let mut drain = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--state" => match it.next() {
+                Some(d) => state = PathBuf::from(d),
+                None => return serve_usage("--state requires a directory"),
+            },
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(PathBuf::from(p)),
+                None => return serve_usage("--socket requires a path"),
+            },
+            "--drain" => drain = true,
+            other => return serve_usage(&format!("unknown argument {other}")),
+        }
+    }
+    let server = match ExperimentServer::open(ServerConfig::new(state.clone())) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "repro serve: could not open state at {}: {e}",
+                state.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if drain {
+        server.drain();
+        eprintln!("repro serve: backlog drained");
+        return ExitCode::SUCCESS;
+    }
+    let socket = socket.unwrap_or_else(|| state.join("dcg.sock"));
+    let _ = std::fs::remove_file(&socket);
+    let listener = match std::os::unix::net::UnixListener::bind(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("repro serve: could not bind {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("repro serve: listening on {}", socket.display());
+    server.serve(listener);
+    let _ = std::fs::remove_file(&socket);
+    ExitCode::SUCCESS
+}
+
+fn serve_usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}\nusage: repro serve [--state DIR] [--socket PATH] [--drain]");
+    ExitCode::from(2)
+}
+
+/// `repro submit`: submit jobs to a running daemon and (by default)
+/// wait for and print each result document.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let mut socket = PathBuf::from("results/server/dcg.sock");
+    let mut quick = false;
+    let mut wait = true;
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = PathBuf::from(p),
+                None => return submit_usage("--socket requires a path"),
+            },
+            "--quick" => quick = true,
+            "--no-wait" => wait = false,
+            other if other.starts_with('-') => {
+                return submit_usage(&format!("unknown flag {other}"))
+            }
+            job => match parse_job(job, quick) {
+                Some(spec) => specs.push(spec),
+                None => return submit_usage(&format!("bad job spec '{job}'")),
+            },
+        }
+    }
+    if specs.is_empty() {
+        return submit_usage("no jobs given");
+    }
+    let client = DcgClient::new(&socket);
+    let deadline = Duration::from_secs(1800);
+    let mut failures = 0;
+    for spec in &specs {
+        if wait {
+            match client.submit_and_wait(spec, Duration::from_millis(200), deadline) {
+                Ok((id, json)) => {
+                    eprintln!("job {id:016x} ({}) done", spec.label());
+                    print!("{}", String::from_utf8_lossy(&json));
+                }
+                Err(e) => {
+                    eprintln!("repro submit: {} failed: {e}", spec.label());
+                    failures += 1;
+                }
+            }
+        } else {
+            match client.submit(spec, deadline) {
+                Ok((id, deduped)) => eprintln!(
+                    "job {id:016x} ({}) submitted{}",
+                    spec.label(),
+                    if deduped { " (deduped)" } else { "" }
+                ),
+                Err(e) => {
+                    eprintln!("repro submit: {} failed: {e}", spec.label());
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn submit_usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "{msg}\nusage: repro submit [--socket PATH] [--quick] [--no-wait] <job>...\n\
+         jobs: simulate:<bench>[:seed]  replay:<bench>[:seed]  metrics[:seed]  faults[:count[:seed]]"
+    );
+    ExitCode::from(2)
+}
+
+/// Parse a `kind[:arg[:arg]]` job spec.
+fn parse_job(text: &str, quick: bool) -> Option<JobSpec> {
+    let mut parts = text.split(':');
+    let kind = parts.next()?;
+    let rest: Vec<&str> = parts.collect();
+    let seed_at = |i: usize| -> Option<u64> {
+        match rest.get(i) {
+            Some(s) => s.parse().ok(),
+            None => Some(42),
+        }
+    };
+    match kind {
+        "simulate" | "replay" => {
+            let bench = (*rest.first()?).to_string();
+            let seed = seed_at(1)?;
+            if rest.len() > 2 {
+                return None;
+            }
+            Some(if kind == "simulate" {
+                JobSpec::Simulate { bench, seed, quick }
+            } else {
+                JobSpec::Replay { bench, seed, quick }
+            })
+        }
+        "metrics" => {
+            if rest.len() > 1 {
+                return None;
+            }
+            Some(JobSpec::Metrics {
+                seed: seed_at(0)?,
+                quick,
+            })
+        }
+        "faults" => {
+            if rest.len() > 2 {
+                return None;
+            }
+            let count = match rest.first() {
+                Some(s) => s.parse().ok()?,
+                None => 32,
+            };
+            Some(JobSpec::Faults {
+                seed: seed_at(1)?,
+                count,
+            })
+        }
+        _ => None,
     }
 }
 

@@ -1,0 +1,127 @@
+//! Property suite for the wire protocol: the framing layer and the
+//! request/reply codecs must be total over arbitrary bytes — corrupt,
+//! truncated and oversized frames are rejected with structured errors,
+//! never a panic, never an unbounded allocation, and (because all
+//! parsing is over in-memory buffers with strict bounds) never a hang.
+
+use dcg_server::{read_frame, write_frame, JobSpec, ProtocolError, Reply, Request, MAX_FRAME_LEN};
+use dcg_testkit::prop;
+
+/// Generator of arbitrary byte vectors (length 0..=600).
+fn bytes(max_len: usize) -> prop::Gen<Vec<u8>> {
+    prop::vec(prop::range(0u64..256), 0usize..max_len).map(|v| v.iter().map(|&b| b as u8).collect())
+}
+
+/// Generator of structurally valid requests.
+fn requests() -> prop::Gen<Request> {
+    let bench =
+        prop::range(0u64..4).map(|i| ["gzip", "mcf", "swim", "art"][i as usize].to_string());
+    let spec = prop::tuple((
+        prop::range(0u64..4),
+        bench,
+        prop::any_u64(),
+        prop::range(0u64..2),
+    ))
+    .map(|(kind, bench, seed, q)| match kind {
+        0 => JobSpec::Simulate {
+            bench,
+            seed,
+            quick: q == 1,
+        },
+        1 => JobSpec::Replay {
+            bench,
+            seed,
+            quick: q == 1,
+        },
+        2 => JobSpec::Metrics {
+            seed,
+            quick: q == 1,
+        },
+        _ => JobSpec::Faults {
+            seed,
+            count: (seed % 64) as u32 + 1,
+        },
+    });
+    prop::tuple((prop::range(0u64..6), spec, prop::any_u64())).map(|(tag, spec, id)| match tag {
+        0 => Request::Ping,
+        1 => Request::Submit(spec),
+        2 => Request::Status(id),
+        3 => Request::Result(id),
+        4 => Request::Health,
+        _ => Request::Shutdown,
+    })
+}
+
+#[test]
+fn decoding_arbitrary_bytes_never_panics() {
+    prop::check("protocol_total_decode", bytes(600), |raw| {
+        // Framing layer: any outcome is fine, panicking is not.
+        let _ = read_frame(&mut raw.as_slice());
+        // Payload codecs are equally total.
+        let _ = Request::decode(&raw);
+        let _ = Reply::decode(&raw);
+        let _ = JobSpec::decode(&raw);
+    });
+}
+
+#[test]
+fn any_single_corruption_of_a_valid_frame_is_rejected() {
+    let gen = prop::tuple((bytes(200), prop::any_u64(), prop::range(0u64..2)));
+    prop::check(
+        "protocol_corruption_rejected",
+        gen,
+        |(payload, pick, mode)| {
+            let mut frame = Vec::new();
+            write_frame(&mut frame, &payload).expect("bounded payload frames");
+            assert_eq!(
+                read_frame(&mut frame.as_slice()).expect("clean frame decodes"),
+                payload
+            );
+            if mode == 0 {
+                // Truncate at an arbitrary boundary short of the full frame.
+                let cut = (pick % frame.len() as u64) as usize;
+                let err = read_frame(&mut &frame[..cut]).expect_err("truncation must be rejected");
+                assert!(
+                    matches!(
+                        err,
+                        ProtocolError::Truncated { .. }
+                            | ProtocolError::BadMagic(_)
+                            | ProtocolError::Oversized(_)
+                    ),
+                    "unexpected truncation classification: {err}"
+                );
+            } else {
+                // Flip one bit anywhere in the frame.
+                let pos = (pick % frame.len() as u64) as usize;
+                let bit = 1u8 << (pick % 8);
+                frame[pos] ^= bit;
+                read_frame(&mut frame.as_slice()).expect_err("bit flip must be rejected");
+            }
+        },
+    );
+}
+
+#[test]
+fn request_round_trip_through_the_full_stack() {
+    prop::check("protocol_request_roundtrip", requests(), |req| {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &req.encode()).unwrap();
+        let payload = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    });
+}
+
+#[test]
+fn oversized_frames_are_rejected_from_the_header_alone() {
+    // The reader must reject the declared length before allocating or
+    // reading the body.
+    let mut header = Vec::new();
+    header.extend_from_slice(b"DCGF");
+    header.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    // No body at all: if the length check came after the read, this
+    // would report Truncated; it must report Oversized.
+    assert!(matches!(
+        read_frame(&mut header.as_slice()),
+        Err(ProtocolError::Oversized(_))
+    ));
+}

@@ -20,6 +20,7 @@
 //! | [`core`] | `dcg-core` | **DCG** (the paper's contribution) + PLB |
 //! | [`trace`] | `dcg-trace` | compact instruction-trace record/replay |
 //! | [`experiments`] | `dcg-experiments` | figure/table regeneration |
+//! | [`server`] | `dcg-server` | crash-resumable experiment daemon + client |
 //!
 //! ## Quick start
 //!
@@ -50,6 +51,7 @@ pub use dcg_emu as emu;
 pub use dcg_experiments as experiments;
 pub use dcg_isa as isa;
 pub use dcg_power as power;
+pub use dcg_server as server;
 pub use dcg_sim as sim;
 pub use dcg_trace as trace;
 pub use dcg_workloads as workloads;
